@@ -1,0 +1,102 @@
+// Command dynamics reproduces the paper's Table V: the clairvoyant
+// dynamic-parameter study, comparing the static optimum against adapting
+// both α and K, only K (at the best fixed α), and only α (at the best
+// fixed K) at every prediction.
+//
+// Usage:
+//
+//	dynamics                 # paper scale (four sites, all N)
+//	dynamics -quick          # reduced configuration
+//	dynamics -sites SPMD,ECSU,ORNL,HSU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"solarpred/internal/experiments"
+	"solarpred/internal/report"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "use the reduced configuration (fast)")
+		sites      = flag.String("sites", "SPMD,ECSU,ORNL,HSU", "comma-separated site list (paper Table V uses four)")
+		csv        = flag.Bool("csv", false, "emit CSV")
+		realizable = flag.Bool("realizable", false, "also run the realizable online policies (Table VI extension)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	} else {
+		cfg.Sites = strings.Split(*sites, ",")
+	}
+	if err := run(cfg, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "dynamics:", err)
+		os.Exit(1)
+	}
+	if *realizable {
+		if err := runRealizable(cfg, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "dynamics:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runRealizable(cfg experiments.Config, csv bool) error {
+	rows, err := experiments.TableVI(cfg)
+	if err != nil {
+		return err
+	}
+	headers := append([]string{"Data set", "N", "Static", "Oracle K+a"}, experiments.PolicyNames()...)
+	t := report.NewTable("Table VI (extension): realizable online parameter selection", headers...)
+	for _, r := range rows {
+		if r.Degenerate {
+			continue
+		}
+		cells := []string{r.Site, strconv.Itoa(r.N), report.Percent(r.Static), report.Percent(r.Oracle)}
+		for _, p := range r.Policies {
+			cells = append(cells, report.Percent(p.Report.MAPE))
+		}
+		t.AddRow(cells...)
+	}
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+	return nil
+}
+
+func run(cfg experiments.Config, csv bool) error {
+	rows, err := experiments.TableV(cfg)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table V: dynamic parameters selection (clairvoyant)",
+		"Data set", "N", "Static MAPE", "K+a MAPE", "K-only a", "K-only MAPE", "a-only K", "a-only MAPE")
+	for _, r := range rows {
+		if r.Degenerate {
+			t.AddRow(r.Site, strconv.Itoa(r.N), "0.00%", "0.00%", "1.0", "0.00%", "n/a", "0.00%")
+			continue
+		}
+		t.AddRow(r.Site, strconv.Itoa(r.N),
+			report.Percent(r.Static),
+			report.Percent(r.Both),
+			fmt.Sprintf("%.1f", r.KOnlyAlpha),
+			report.Percent(r.KOnly),
+			strconv.Itoa(r.AlphaOnlyK),
+			report.Percent(r.AlphaOnly))
+	}
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+	return nil
+}

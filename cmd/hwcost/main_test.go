@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestPickModel(t *testing.T) {
+	m, err := pickModel("soft-float")
+	if err != nil || m.Name != "soft-float" {
+		t.Errorf("soft-float: %v %v", m.Name, err)
+	}
+	m, err = pickModel("fixed-q16")
+	if err != nil || m.Name != "fixed-q16" {
+		t.Errorf("fixed-q16: %v %v", m.Name, err)
+	}
+	if _, err := pickModel("nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunSections(t *testing.T) {
+	// Smoke-run every section; output goes to stdout.
+	if err := run("soft-float", false, 48, false); err != nil {
+		t.Errorf("tables: %v", err)
+	}
+	if err := run("fixed-q16", true, 24, false); err != nil {
+		t.Errorf("trace: %v", err)
+	}
+	if err := run("soft-float", false, 48, true); err != nil {
+		t.Errorf("sweep: %v", err)
+	}
+	if err := printMemory(); err != nil {
+		t.Errorf("memory: %v", err)
+	}
+	if err := run("nope", false, 48, false); err == nil {
+		t.Error("unknown model accepted by run")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestBuildPredictor(t *testing.T) {
+	for _, kind := range []string{"wcma", "ewma", "persistence", "prevday", "slotar"} {
+		p, err := buildPredictor(kind, 48)
+		if err != nil || p.N() != 48 {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildPredictor("nope", 48); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation not short")
+	}
+	if err := run("NPCS", 12, 24, false); err != nil {
+		t.Errorf("compare: %v", err)
+	}
+	if err := run("NPCS", 12, 24, true); err != nil {
+		t.Errorf("sweep: %v", err)
+	}
+	if err := run("NOPE", 12, 24, false); err == nil {
+		t.Error("unknown site accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Command predeval runs the prediction-accuracy explorations of the
+// paper's Section IV-B: Table II (error-function comparison), Table III
+// (sampling-rate sweep), Fig. 7 (MAPE versus D), the Section IV-B tuning
+// guidelines, and the baseline comparison extension.
+//
+// Usage:
+//
+//	predeval -table2            # Table II at N=48, full paper scale
+//	predeval -table3 -quick     # Table III on the reduced configuration
+//	predeval -fig7              # Fig. 7 curves + ASCII chart
+//	predeval -guidelines -n 48  # guideline-versus-optimum penalties
+//	predeval -baselines -n 48   # WCMA vs EWMA/persistence/previous-day
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"solarpred/internal/experiments"
+	"solarpred/internal/report"
+)
+
+func main() {
+	var (
+		table2     = flag.Bool("table2", false, "run the Table II error-function comparison")
+		table3     = flag.Bool("table3", false, "run the Table III sampling-rate exploration")
+		fig7       = flag.Bool("fig7", false, "run the Fig. 7 MAPE-versus-D curves")
+		guidelines = flag.Bool("guidelines", false, "evaluate the Section IV-B tuning guidelines")
+		baselines  = flag.Bool("baselines", false, "compare against EWMA/persistence/previous-day")
+		profile    = flag.Bool("profile", false, "diurnal error profile (MAPE per slot of day)")
+		daytype    = flag.Bool("daytype", false, "error split by realised weather type")
+		robustness = flag.Bool("robustness", false, "sensor fault-injection study")
+		seasonal   = flag.Bool("seasonal", false, "month-by-month error profile")
+		n          = flag.Int("n", 48, "slots per day for single-rate experiments")
+		quick      = flag.Bool("quick", false, "use the reduced configuration (fast)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if !*table2 && !*table3 && !*fig7 && !*guidelines && !*baselines && !*profile && !*daytype && !*robustness && !*seasonal {
+		*table2, *table3, *fig7 = true, true, true
+	}
+	if err := run(cfg, *table2, *table3, *fig7, *guidelines, *baselines, *n, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "predeval:", err)
+		os.Exit(1)
+	}
+	if err := runExtensions(cfg, *profile, *daytype, *robustness, *seasonal, *n, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "predeval:", err)
+		os.Exit(1)
+	}
+}
+
+func runExtensions(cfg experiments.Config, profile, daytype, robustness, seasonal bool, n int, csv bool) error {
+	emit := func(t *report.Table) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	params := experiments.GuidelineParams(n)
+	if profile {
+		for _, site := range cfg.Sites {
+			prof, err := experiments.ErrorBySlot(cfg, site, n, params)
+			if err != nil {
+				return err
+			}
+			chart := report.NewChart(
+				fmt.Sprintf("Diurnal error profile: %s, N=%d (MAPE per slot of day)", site, n), 60, 10)
+			chart.Add("MAPE", '*', prof.MAPE)
+			chart.XLabel = "slot 0 (midnight) .. N-1"
+			fmt.Println(chart.String())
+		}
+	}
+	if daytype {
+		t := report.NewTable(fmt.Sprintf("MAPE by realised weather type at N=%d", n),
+			"Data set", "clear", "partly", "overcast", "mixed")
+		for _, site := range cfg.Sites {
+			res, err := experiments.ErrorByDayType(cfg, site, n, params)
+			if err != nil {
+				return err
+			}
+			t.AddRow(site,
+				report.Percent(res.MAPE[0]), report.Percent(res.MAPE[1]),
+				report.Percent(res.MAPE[2]), report.Percent(res.MAPE[3]))
+		}
+		emit(t)
+	}
+	if seasonal {
+		t := report.NewTable(fmt.Sprintf("Month-by-month MAPE at N=%d (guideline parameters)", n),
+			append([]string{"Data set"}, "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+				"Jul", "Aug", "Sep", "Oct", "Nov", "Dec")...)
+		for _, site := range cfg.Sites {
+			months, err := experiments.Seasonal(cfg, site, n, params)
+			if err != nil {
+				return err
+			}
+			cells := []string{site}
+			for _, m := range months {
+				if m.Samples == 0 {
+					cells = append(cells, "n/a")
+				} else {
+					cells = append(cells, report.Percent(m.MAPE))
+				}
+			}
+			t.AddRow(cells...)
+		}
+		emit(t)
+	}
+	if robustness {
+		rows, err := experiments.Robustness(cfg, n)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Sensor-fault robustness at N=%d (guideline parameters)", n),
+			"Data set", "fault", "affected", "clean MAPE", "faulty MAPE", "degradation")
+		for _, r := range rows {
+			t.AddRow(r.Site, r.Scenario.Kind.String(),
+				fmt.Sprintf("%.2f%%", r.Damage.AffectedFraction()*100),
+				report.Percent(r.CleanMAPE), report.Percent(r.FaultyMAPE),
+				fmt.Sprintf("%+.2fpp", r.DegradationPoints()*100))
+		}
+		emit(t)
+	}
+	return nil
+}
+
+func run(cfg experiments.Config, table2, table3, fig7, guidelines, baselines bool, n int, csv bool) error {
+	emit := func(t *report.Table) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	if table2 {
+		rows, err := experiments.TableII(cfg, n)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Table II: parameters and error under MAPE' vs MAPE at N=%d", n),
+			"Data set", "a'", "D'", "K'", "MAPE'", "a", "D", "K", "MAPE")
+		for _, r := range rows {
+			t.AddRow(r.Site,
+				fmt.Sprintf("%.1f", r.PrimeBest.Params.Alpha),
+				strconv.Itoa(r.PrimeBest.Params.D),
+				strconv.Itoa(r.PrimeBest.Params.K),
+				report.Percent(r.PrimeError),
+				fmt.Sprintf("%.1f", r.MeanBest.Params.Alpha),
+				strconv.Itoa(r.MeanBest.Params.D),
+				strconv.Itoa(r.MeanBest.Params.K),
+				report.Percent(r.MeanError))
+		}
+		emit(t)
+	}
+	if table3 {
+		rows, err := experiments.TableIII(cfg)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("Table III: prediction results at different values of N",
+			"Data set", "N", "a", "D", "K", "MAPE", "MAPE@K=2")
+		for _, r := range rows {
+			if r.Degenerate {
+				t.AddRow(r.Site, strconv.Itoa(r.N), "1.0", "n/a", "n/a", "0*", "0*")
+				continue
+			}
+			k2 := "n/a"
+			if !math.IsNaN(r.MAPEAtK2) {
+				k2 = report.Percent(r.MAPEAtK2)
+			}
+			t.AddRow(r.Site, strconv.Itoa(r.N),
+				fmt.Sprintf("%.1f", r.Best.Params.Alpha),
+				strconv.Itoa(r.Best.Params.D),
+				strconv.Itoa(r.Best.Params.K),
+				report.Percent(r.Best.Report.MAPE), k2)
+		}
+		emit(t)
+		if !csv {
+			fmt.Println("* slot length equals trace resolution: prediction exact with a=1 (paper's 0† rows)")
+			fmt.Println()
+		}
+	}
+	if fig7 {
+		series, err := experiments.Fig7(cfg, n)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Fig. 7 data: MAPE vs D at N=%d", n),
+			append([]string{"D"}, siteNames(series)...)...)
+		for di, d := range cfg.Space.Ds {
+			row := []string{strconv.Itoa(d)}
+			for _, s := range series {
+				row = append(row, report.Percent(s.MAPEs[di]))
+			}
+			t.AddRow(row...)
+		}
+		emit(t)
+		if !csv {
+			chart := report.NewChart(fmt.Sprintf("Fig. 7: MAPE vs D (N=%d)", n), 60, 12)
+			markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+			for i, s := range series {
+				chart.Add(s.Site, markers[i%len(markers)], s.MAPEs)
+			}
+			chart.XLabel = fmt.Sprintf("D = %d .. %d", cfg.Space.Ds[0], cfg.Space.Ds[len(cfg.Space.Ds)-1])
+			fmt.Println(chart.String())
+		}
+	}
+	if guidelines {
+		gs, err := experiments.Guidelines(cfg, n)
+		if err != nil {
+			return err
+		}
+		p := experiments.GuidelineParams(n)
+		t := report.NewTable(
+			fmt.Sprintf("Guidelines (Sec. IV-B): a=%.1f D=%d K=%d at N=%d vs exhaustive optimum", p.Alpha, p.D, p.K, n),
+			"Data set", "Optimum MAPE", "Guideline MAPE", "Penalty")
+		for _, g := range gs {
+			t.AddRow(g.Site, report.Percent(g.OptimumMAPE), report.Percent(g.GuidelineMAPE),
+				fmt.Sprintf("%+.2fpp", g.Penalty*100))
+		}
+		emit(t)
+	}
+	if baselines {
+		rows, err := experiments.Baselines(cfg, n, []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9})
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Baseline comparison at N=%d (MAPE)", n),
+			"Data set", "WCMA", "EWMA(best b)", "b", "Persistence", "Prev-day", "SlotAR")
+		for _, r := range rows {
+			t.AddRow(r.Site, report.Percent(r.WCMA), report.Percent(r.EWMA),
+				fmt.Sprintf("%.1f", r.EWMABeta), report.Percent(r.Persistence),
+				report.Percent(r.PreviousDay), report.Percent(r.SlotAR))
+		}
+		emit(t)
+	}
+	return nil
+}
+
+func siteNames(series []experiments.Fig7Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Site
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Command solargen generates the six synthetic NREL-like site traces of
+// the paper's Table I and writes them as CSV, or prints the Table I
+// summary.
+//
+// Usage:
+//
+//	solargen                     # print the Table I summary
+//	solargen -site ORNL -days 365 -out ornl.csv
+//	solargen -all -dir traces/   # write every site's full trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"solarpred/internal/dataset"
+	"solarpred/internal/report"
+)
+
+func main() {
+	var (
+		siteName = flag.String("site", "", "site to generate (SPMD, ECSU, ORNL, HSU, NPCS, PFCI)")
+		days     = flag.Int("days", 365, "number of days to generate")
+		out      = flag.String("out", "", "output CSV path (default stdout)")
+		all      = flag.Bool("all", false, "generate every site")
+		dir      = flag.String("dir", ".", "output directory for -all")
+		summary  = flag.Bool("summary", false, "print the generated-trace summary instead of CSV")
+	)
+	flag.Parse()
+
+	if err := run(*siteName, *days, *out, *all, *dir, *summary); err != nil {
+		fmt.Fprintln(os.Stderr, "solargen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(siteName string, days int, out string, all bool, dir string, summary bool) error {
+	if !all && siteName == "" {
+		printTableI()
+		return nil
+	}
+	if all {
+		for _, s := range dataset.Sites() {
+			path := filepath.Join(dir, s.Name+".csv")
+			if err := generateOne(s.Name, days, path, summary); err != nil {
+				return err
+			}
+			if !summary {
+				fmt.Println("wrote", path)
+			}
+		}
+		return nil
+	}
+	return generateOne(siteName, days, out, summary)
+}
+
+func printTableI() {
+	tbl := report.NewTable("Table I: details of the data sets used",
+		"Data Set", "Location", "Observations", "Days", "Resolution")
+	for _, r := range dataset.TableI() {
+		tbl.AddRow(r.Name, r.Location, strconv.Itoa(r.Observations), strconv.Itoa(r.Days), r.Resolution)
+	}
+	fmt.Print(tbl.String())
+}
+
+func generateOne(name string, days int, out string, summary bool) error {
+	site, err := dataset.SiteByName(name)
+	if err != nil {
+		return err
+	}
+	series, err := dataset.GenerateDays(site, days)
+	if err != nil {
+		return err
+	}
+	if summary {
+		s := dataset.Summarize(name, series)
+		fmt.Printf("%s: %d observations over %d days, peak %.1f W/m², mean daylight %.1f W/m², %.1f%% night samples\n",
+			s.Site, s.Observations, s.Days, s.PeakPower, s.MeanDaylight, s.ZeroFraction*100)
+		return nil
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dataset.WriteCSV(w, series)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateOneToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spmd.csv")
+	if err := generateOne("SPMD", 2, path, false); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 1000 {
+		t.Errorf("suspiciously small CSV: %d bytes", info.Size())
+	}
+	if err := generateOne("NOPE", 2, "", false); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := generateOne("SPMD", 9999, "", false); err == nil {
+		t.Error("absurd day count accepted")
+	}
+	if err := generateOne("SPMD", 2, "", true); err != nil {
+		t.Errorf("summary mode: %v", err)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	// No site and not -all → Table I summary only.
+	if err := run("", 2, "", false, ".", false); err != nil {
+		t.Errorf("table I path: %v", err)
+	}
+	dir := t.TempDir()
+	if err := run("", 2, "", true, dir, true); err != nil {
+		t.Errorf("-all path: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+// Faulttolerance: what happens to prediction accuracy when the sensing
+// path misbehaves in the field — dropped ADC reads, a stuck sensor,
+// coupling spikes, dust on the panel. Injects each fault scenario into a
+// trace and reports the MAPE penalty, demonstrating the library's
+// graceful-degradation behaviour (η clamping, nonnegative forecasts).
+//
+//	go run ./examples/faulttolerance [site]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"solarpred"
+	"solarpred/internal/optimize"
+)
+
+func main() {
+	siteName := "ECSU"
+	if len(os.Args) > 1 {
+		siteName = os.Args[1]
+	}
+	site, err := solarpred.SiteByName(siteName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := solarpred.GenerateDays(site, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 48
+	params := solarpred.Params{Alpha: 0.7, D: 10, K: 2}
+
+	cleanView, err := clean.Slot(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanEval, err := solarpred.NewEvaluator(cleanView)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := cleanEval.EvaluateOnline(params, solarpred.RefSlotMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("site %s, 100 days, N=%d, guideline parameters\n", siteName, n)
+	fmt.Printf("clean-trace MAPE: %.2f%%\n\n", base.MAPE*100)
+	fmt.Printf("%-16s %10s %12s %12s\n", "fault", "affected", "faulty MAPE", "penalty")
+
+	for _, sc := range solarpred.FaultScenarios() {
+		corrupted, damage, err := solarpred.InjectFault(clean, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		view, err := corrupted.Slot(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Score corrupted measurements against the clean slot means: the
+		// energy the slot delivers does not care about the sensor fault.
+		hybrid := *view
+		hybrid.Mean = cleanView.Mean
+		eval, err := optimize.NewEval(&hybrid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := eval.EvaluateOnline(params, solarpred.RefSlotMean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %9.2f%% %11.2f%% %+10.2fpp\n",
+			sc.Kind.String(), damage.AffectedFraction()*100,
+			rep.MAPE*100, (rep.MAPE-base.MAPE)*100)
+	}
+	fmt.Println("\nEven a fully drifted panel (gain-drift touches every sample) degrades the")
+	fmt.Println("forecast by only a few points: the conditioning factor is a power *ratio*,")
+	fmt.Println("so a slow multiplicative error largely cancels between ẽ and μD.")
+}

@@ -1,0 +1,68 @@
+// Horizon: the accuracy-versus-energy-cost trade-off of the paper's
+// Table III and Fig. 6 combined — for each sampling rate N, the best
+// achievable MAPE on a site and what the sampling + prediction activity
+// costs the MSP430-class node per day.
+//
+//	go run ./examples/horizon [site]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"solarpred"
+	"solarpred/internal/mcu"
+	"solarpred/internal/optimize"
+)
+
+func main() {
+	siteName := "PFCI"
+	if len(os.Args) > 1 {
+		siteName = os.Args[1]
+	}
+	site, err := solarpred.SiteByName(siteName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := solarpred.GenerateDays(site, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	space := optimize.Space{
+		Alphas: []float64{0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1},
+		Ds:     []int{5, 10, 15, 20},
+		Ks:     []int{1, 2, 3},
+	}
+
+	fmt.Printf("site %s, 120 days: accuracy vs daily energy cost per sampling rate\n\n", siteName)
+	fmt.Printf("%5s %10s %8s %14s %14s %10s\n", "N", "horizon", "MAPE", "activity/day", "sleep/day", "overhead")
+	for _, n := range []int{288, 96, 72, 48, 24} {
+		if 24*60/n < site.ResolutionMinutes {
+			continue // slot shorter than the recording resolution
+		}
+		view, err := trace.Slot(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval, err := solarpred.NewEvaluator(view)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eval.GridSearch(space, solarpred.RefSlotMean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		budget, err := mcu.DayBudget(n, res.Best.Params, mcu.SoftFloat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d %8dmin %7.2f%% %11.2f mJ %11.0f mJ %9.2f%%\n",
+			n, 24*60/n, res.Best.Report.MAPE*100,
+			budget.TotalActivityPerDayJ()*1e3, budget.SleepPerDayJ*1e3,
+			budget.OverheadFraction*100)
+	}
+	fmt.Println("\nHigher N buys accuracy almost linearly in sampling energy; even at")
+	fmt.Println("N=288 the activity stays under 5% of the node's sleep-mode floor.")
+}

@@ -1,0 +1,70 @@
+// Quickstart: generate a solar trace, run the WCMA predictor online, and
+// report its accuracy under the paper's MAPE methodology.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"solarpred"
+)
+
+func main() {
+	// 60 days of the SPMD (Colorado, variable weather) trace at the
+	// site's native 5-minute resolution.
+	site, err := solarpred.SiteByName("SPMD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := solarpred.GenerateDays(site, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Slot it at N=48 (30-minute prediction horizon) and build the
+	// predictor with the paper's guideline parameters.
+	view, err := trace.Slot(48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := solarpred.NewPredictor(48, solarpred.Params{Alpha: 0.7, D: 10, K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive it slot by slot, as a sensor node would, printing a couple
+	// of mid-day forecasts.
+	shown := 0
+	for t := 0; t < view.TotalSlots()-1; t++ {
+		slot := t % 48
+		if err := pred.Observe(slot, view.Start[t]); err != nil {
+			log.Fatal(err)
+		}
+		forecast, err := pred.Predict()
+		if err != nil {
+			log.Fatal(err)
+		}
+		day := t / 48
+		if day == 30 && slot >= 22 && slot < 26 { // around noon of day 31
+			actual := view.Mean[t]
+			fmt.Printf("day %d slot %2d: measured %6.1f, forecast next %6.1f, slot mean %6.1f W/m²\n",
+				day+1, slot, view.Start[t], forecast, actual)
+			shown++
+		}
+	}
+
+	// Score the whole run with the paper's evaluator (days 21+, region
+	// of interest ≥ 10 % of peak).
+	eval, err := solarpred.NewEvaluator(view)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eval.EvaluateOnline(solarpred.Params{Alpha: 0.7, D: 10, K: 2}, solarpred.RefSlotMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMAPE over %d scored slots: %.2f%% (max abs error %.0f W/m²)\n",
+		rep.Samples, rep.MAPE*100, rep.MaxAbsErr)
+}

@@ -1,0 +1,82 @@
+// Tuning: the paper's Section IV-B design exploration in miniature — how
+// MAPE moves with each parameter (α, D, K) around the guideline point,
+// so a deployer can see which knobs matter on their own profile.
+//
+//	go run ./examples/tuning [site]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"solarpred"
+)
+
+func main() {
+	siteName := "ECSU"
+	if len(os.Args) > 1 {
+		siteName = os.Args[1]
+	}
+	site, err := solarpred.SiteByName(siteName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := solarpred.GenerateDays(site, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := trace.Slot(48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := solarpred.NewEvaluator(view)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := solarpred.Params{Alpha: 0.7, D: 10, K: 2}
+	mape := func(p solarpred.Params) float64 {
+		rep, err := eval.EvaluateOnline(p, solarpred.RefSlotMean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.MAPE
+	}
+
+	fmt.Printf("site %s, N=48, 120 days; guideline point a=%.1f D=%d K=%d -> MAPE %.2f%%\n\n",
+		siteName, base.Alpha, base.D, base.K, mape(base)*100)
+
+	fmt.Println("alpha sweep (D=10, K=2):")
+	for _, a := range []float64{0, 0.2, 0.4, 0.6, 0.7, 0.8, 1.0} {
+		p := base
+		p.Alpha = a
+		fmt.Printf("  a=%.1f  MAPE %6.2f%%  %s\n", a, mape(p)*100, bar(mape(p)))
+	}
+	fmt.Println("\nD sweep (a=0.7, K=2):")
+	for _, d := range []int{2, 4, 6, 8, 10, 14, 18} {
+		p := base
+		p.D = d
+		fmt.Printf("  D=%-2d   MAPE %6.2f%%  %s\n", d, mape(p)*100, bar(mape(p)))
+	}
+	fmt.Println("\nK sweep (a=0.7, D=10):")
+	for _, k := range []int{1, 2, 3, 4, 5, 6} {
+		p := base
+		p.K = k
+		fmt.Printf("  K=%d    MAPE %6.2f%%  %s\n", k, mape(p)*100, bar(mape(p)))
+	}
+	fmt.Println("\nThe paper's guidance: the D curve flattens near 10, K=2 is near-optimal,")
+	fmt.Println("and alpha is the knob worth tuning per site and per horizon.")
+}
+
+func bar(frac float64) string {
+	n := int(frac * 200)
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SlotPredictor is the common interface of all per-slot energy predictors:
+// observe the measured power at the start of each slot in order, then ask
+// for the forecast of the next slot. It is satisfied by the WCMA
+// Predictor and all baselines, so evaluation harnesses can treat them
+// uniformly.
+type SlotPredictor interface {
+	// Observe records the measured power at the start of the given slot
+	// of the current day. Slots arrive in order; slot 0 starts a new day.
+	Observe(slot int, power float64) error
+	// Predict forecasts the power at the start of the slot following the
+	// last observed one.
+	Predict() (float64, error)
+	// N returns the slots per day the predictor was configured for.
+	N() int
+}
+
+// Interface conformance checks.
+var (
+	_ SlotPredictor = (*Predictor)(nil)
+	_ SlotPredictor = (*EWMA)(nil)
+	_ SlotPredictor = (*Persistence)(nil)
+	_ SlotPredictor = (*PreviousDay)(nil)
+)
+
+// EWMA is the exponentially weighted moving-average predictor of Kansal
+// et al. [2]: the forecast for slot j is an exponential average of the
+// measurements of slot j on previous days,
+//
+//	x_d(j) = β·e_{d-1}(j) + (1−β)·x_{d-1}(j),
+//
+// i.e. it exploits only day-to-day correlation, with no intra-day
+// weather conditioning. It is the natural baseline for WCMA.
+type EWMA struct {
+	beta    float64
+	n       int
+	avg     []float64 // per-slot exponential average
+	seeded  []bool    // whether avg[j] has ever been set
+	cur     []float64
+	curSlot int
+}
+
+// NewEWMA creates the Kansal-style baseline with smoothing factor
+// 0 < beta ≤ 1 and n slots per day.
+func NewEWMA(n int, beta float64) (*EWMA, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 slots per day, got %d", n)
+	}
+	if beta <= 0 || beta > 1 || math.IsNaN(beta) {
+		return nil, fmt.Errorf("core: beta %.3f out of (0,1]", beta)
+	}
+	return &EWMA{
+		beta:   beta,
+		n:      n,
+		avg:    make([]float64, n),
+		seeded: make([]bool, n),
+		cur:    make([]float64, n),
+	}, nil
+}
+
+// N returns the slots per day.
+func (e *EWMA) N() int { return e.n }
+
+// Observe implements SlotPredictor.
+func (e *EWMA) Observe(slot int, power float64) error {
+	if slot < 0 || slot >= e.n {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, e.n)
+	}
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return fmt.Errorf("core: invalid power %v", power)
+	}
+	if slot != e.curSlot%e.n {
+		return fmt.Errorf("core: slot %d observed out of order (expected %d)", slot, e.curSlot%e.n)
+	}
+	if slot == 0 && e.curSlot == e.n {
+		// Fold the completed day into the per-slot averages.
+		for j := 0; j < e.n; j++ {
+			if e.seeded[j] {
+				e.avg[j] = e.beta*e.cur[j] + (1-e.beta)*e.avg[j]
+			} else {
+				e.avg[j] = e.cur[j]
+				e.seeded[j] = true
+			}
+		}
+		e.curSlot = 0
+	}
+	e.cur[slot] = power
+	e.curSlot = slot + 1
+	return nil
+}
+
+// Predict implements SlotPredictor: the forecast is the exponential
+// average of the next slot's historical values.
+func (e *EWMA) Predict() (float64, error) {
+	if e.curSlot == 0 {
+		return 0, fmt.Errorf("core: no observation yet for the current day")
+	}
+	next := e.curSlot % e.n
+	return e.avg[next], nil
+}
+
+// Persistence forecasts the next slot as exactly the current slot's
+// measurement (ê(n+1) = ẽ(n)); equivalent to WCMA with α = 1.
+type Persistence struct {
+	n       int
+	last    float64
+	curSlot int
+}
+
+// NewPersistence creates the persistence baseline for n slots per day.
+func NewPersistence(n int) (*Persistence, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 slots per day, got %d", n)
+	}
+	return &Persistence{n: n}, nil
+}
+
+// N returns the slots per day.
+func (p *Persistence) N() int { return p.n }
+
+// Observe implements SlotPredictor.
+func (p *Persistence) Observe(slot int, power float64) error {
+	if slot < 0 || slot >= p.n {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, p.n)
+	}
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return fmt.Errorf("core: invalid power %v", power)
+	}
+	if slot != p.curSlot%p.n {
+		return fmt.Errorf("core: slot %d observed out of order (expected %d)", slot, p.curSlot%p.n)
+	}
+	p.last = power
+	p.curSlot = slot + 1
+	if p.curSlot > p.n {
+		p.curSlot = 1
+	}
+	return nil
+}
+
+// Predict implements SlotPredictor.
+func (p *Persistence) Predict() (float64, error) {
+	if p.curSlot == 0 {
+		return 0, fmt.Errorf("core: no observation yet for the current day")
+	}
+	return p.last, nil
+}
+
+// PreviousDay forecasts the next slot as the same slot's measurement on
+// the previous day; equivalent to WCMA with α = 0, D = 1, Φ ≡ 1.
+type PreviousDay struct {
+	n       int
+	prev    []float64
+	hasPrev bool
+	cur     []float64
+	curSlot int
+}
+
+// NewPreviousDay creates the previous-day baseline for n slots per day.
+func NewPreviousDay(n int) (*PreviousDay, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 slots per day, got %d", n)
+	}
+	return &PreviousDay{
+		n:    n,
+		prev: make([]float64, n),
+		cur:  make([]float64, n),
+	}, nil
+}
+
+// N returns the slots per day.
+func (p *PreviousDay) N() int { return p.n }
+
+// Observe implements SlotPredictor.
+func (p *PreviousDay) Observe(slot int, power float64) error {
+	if slot < 0 || slot >= p.n {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, p.n)
+	}
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return fmt.Errorf("core: invalid power %v", power)
+	}
+	if slot != p.curSlot%p.n {
+		return fmt.Errorf("core: slot %d observed out of order (expected %d)", slot, p.curSlot%p.n)
+	}
+	if slot == 0 && p.curSlot == p.n {
+		copy(p.prev, p.cur)
+		p.hasPrev = true
+		p.curSlot = 0
+	}
+	p.cur[slot] = power
+	p.curSlot = slot + 1
+	return nil
+}
+
+// Predict implements SlotPredictor.
+func (p *PreviousDay) Predict() (float64, error) {
+	if p.curSlot == 0 {
+		return 0, fmt.Errorf("core: no observation yet for the current day")
+	}
+	if !p.hasPrev {
+		return 0, nil
+	}
+	next := p.curSlot % p.n
+	return p.prev[next], nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func feed(t *testing.T, p SlotPredictor, days ...[]float64) {
+	t.Helper()
+	for _, day := range days {
+		for j, v := range day {
+			if err := p.Observe(j, v); err != nil {
+				t.Fatalf("Observe(%d,%v): %v", j, v, err)
+			}
+		}
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	if _, err := NewEWMA(1, 0.5); err == nil {
+		t.Error("n=1 accepted")
+	}
+	for _, beta := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := NewEWMA(4, beta); err == nil {
+			t.Errorf("beta=%v accepted", beta)
+		}
+	}
+	e, err := NewEWMA(4, 1)
+	if err != nil || e.N() != 4 {
+		t.Errorf("beta=1 should be legal: %v", err)
+	}
+}
+
+func TestEWMAObserveValidation(t *testing.T) {
+	e, _ := NewEWMA(4, 0.5)
+	if err := e.Observe(1, 5); err == nil {
+		t.Error("out-of-order accepted")
+	}
+	if err := e.Observe(0, -1); err == nil {
+		t.Error("negative power accepted")
+	}
+	if err := e.Observe(5, 1); err == nil {
+		t.Error("slot out of range accepted")
+	}
+	if _, err := e.Predict(); err == nil {
+		t.Error("Predict before Observe accepted")
+	}
+}
+
+func TestEWMAFirstDaySeedsAverage(t *testing.T) {
+	e, _ := NewEWMA(3, 0.5)
+	feed(t, e, []float64{10, 20, 30})
+	// Start day 2: averages seed to day 1 values.
+	if err := e.Observe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Predict() // next slot = 1 → avg = 20
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("seeded EWMA predict = %v, want 20", got)
+	}
+}
+
+func TestEWMARecursion(t *testing.T) {
+	e, _ := NewEWMA(2, 0.25)
+	feed(t, e, []float64{100, 0}, []float64{200, 0})
+	// After two days: avg(0) seeded to 100, then 0.25·200+0.75·100 = 125.
+	if err := e.Observe(0, 0); err != nil { // rolls day 2 into average
+		t.Fatal(err)
+	}
+	if err := e.Observe(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Predict() // predicting slot 0 of next day
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-125) > 1e-12 {
+		t.Errorf("EWMA recursion = %v, want 125", got)
+	}
+}
+
+func TestEWMAConstantInputIsFixedPoint(t *testing.T) {
+	e, _ := NewEWMA(4, 0.3)
+	day := []float64{5, 10, 15, 20}
+	for i := 0; i < 10; i++ {
+		feed(t, e, day)
+	}
+	if err := e.Observe(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Predict()
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("constant-input EWMA = %v, want 10", got)
+	}
+}
+
+func TestPersistencePredictsLastValue(t *testing.T) {
+	p, err := NewPersistence(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersistence(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := p.Predict(); err == nil {
+		t.Error("Predict before Observe accepted")
+	}
+	feed(t, p, []float64{3, 7, 11, 13})
+	got, err := p.Predict()
+	if err != nil || got != 13 {
+		t.Errorf("persistence = %v (%v), want 13", got, err)
+	}
+	// Next day wraps cleanly.
+	if err := p.Observe(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Predict()
+	if got != 42 {
+		t.Errorf("persistence after wrap = %v, want 42", got)
+	}
+}
+
+func TestPersistenceObserveValidation(t *testing.T) {
+	p, _ := NewPersistence(4)
+	if err := p.Observe(2, 5); err == nil {
+		t.Error("out-of-order accepted")
+	}
+	if err := p.Observe(0, math.Inf(1)); err == nil {
+		t.Error("Inf accepted")
+	}
+	if err := p.Observe(-1, 5); err == nil {
+		t.Error("negative slot accepted")
+	}
+}
+
+func TestPersistenceEqualsWCMAAlphaOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := mustNew(t, 6, Params{Alpha: 1, D: 3, K: 2})
+	p, _ := NewPersistence(6)
+	for d := 0; d < 5; d++ {
+		for j := 0; j < 6; j++ {
+			v := rng.Float64() * 400
+			if err := w.Observe(j, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Observe(j, v); err != nil {
+				t.Fatal(err)
+			}
+			a, err := w.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := p.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("WCMA(α=1) %v != persistence %v", a, b)
+			}
+		}
+	}
+}
+
+func TestPreviousDay(t *testing.T) {
+	p, err := NewPreviousDay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPreviousDay(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := p.Predict(); err == nil {
+		t.Error("Predict before Observe accepted")
+	}
+	feed(t, p, []float64{10, 20, 30})
+	// No previous day yet → 0.
+	got, err := p.Predict()
+	if err != nil || got != 0 {
+		t.Errorf("no-history previous-day = %v (%v), want 0", got, err)
+	}
+	if err := p.Observe(0, 99); err != nil { // day 2 starts; day 1 archived
+		t.Fatal(err)
+	}
+	got, _ = p.Predict() // next slot 1 → day 1 slot 1 = 20
+	if got != 20 {
+		t.Errorf("previous-day = %v, want 20", got)
+	}
+	if err := p.Observe(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Predict() // next slot 0 of day 3 → day 1 slot 0 = 10
+	if got != 10 {
+		t.Errorf("previous-day midnight = %v, want 10", got)
+	}
+}
+
+func TestPreviousDayObserveValidation(t *testing.T) {
+	p, _ := NewPreviousDay(4)
+	if err := p.Observe(3, 5); err == nil {
+		t.Error("out-of-order accepted")
+	}
+	if err := p.Observe(0, math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := p.Observe(9, 5); err == nil {
+		t.Error("slot out of range accepted")
+	}
+}

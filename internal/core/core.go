@@ -1,0 +1,322 @@
+// Package core implements the solar harvested-energy prediction algorithm
+// evaluated by the paper (Recas et al. [5], often called WCMA — weather
+// conditioned moving average) together with the baselines it is compared
+// against and the dynamic (clairvoyant) parameter-selection study of the
+// paper's Section IV-C.
+//
+// Algorithm (paper Section II)
+//
+// A day is discretised into N equal slots; power is sampled once per slot.
+// With ẽ(j) the current day's measured slot powers and e(i,j) the matrix
+// of the last D days' slot powers, the power at the start of slot n+1 is
+// predicted as
+//
+//	ê(n+1) = α·ẽ(n) + (1−α)·μD(n+1)·ΦK            (Eq. 1)
+//	μD(j)  = (Σ_{i=1..D} e(i,j)) / D               (Eq. 2)
+//	ΦK     = Σ_k θ(k)·η(k) / Σ_k θ(k)              (Eq. 3)
+//	η(k)   = ẽ(n−K+k) / μD(n−K+k)                  (Eq. 4)
+//	θ(k)   = k/K                                    (Eq. 5)
+//
+// The first term of Eq. 1 is the persistence term; the second is the
+// conditioned average term where ΦK measures how much brighter or
+// cloudier the current day is than the D-day history.
+//
+// Numerical edge cases not pinned down by the paper are resolved as
+// follows and exercised by the ablation benches:
+//   - slots before the start of the current day (n−K+k < 0) take the
+//     corresponding measurement of the most recent full day;
+//   - ratios η with μD below a small epsilon (night slots) contribute the
+//     neutral value 1, so night history neither inflates nor deflates ΦK;
+//   - ratios η are clamped to [0, EtaMax]: around dawn both ẽ and μD are
+//     tiny, and their quotient is numerically meaningless noise that can
+//     reach 10⁵ and destroy the next prediction. Physically η is "how
+//     much brighter is today than the average day", which cannot
+//     plausibly exceed a small constant; the clamp is scale-free so the
+//     algorithm's homogeneity is preserved;
+//   - predictions are clamped at zero (harvested power is nonnegative).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MuEpsilon is the μD threshold below which a ratio η(k) is treated as
+// neutral (1). Slot averages below this value are night or deep-twilight
+// samples whose ratios are numerically meaningless.
+const MuEpsilon = 1e-9
+
+// EtaMax bounds each brightness ratio η(k) = ẽ/μD. Dawn and dusk slots
+// divide two near-zero powers and can produce arbitrarily large
+// quotients; physically the "current day brightness versus history"
+// factor is O(1). The clamp is dimensionless, so predictions remain
+// positively homogeneous in the input power scale.
+const EtaMax = 4.0
+
+// Params are the tunable parameters of the prediction algorithm at a
+// fixed sampling rate N.
+type Params struct {
+	// Alpha weighs persistence against the conditioned average, 0 ≤ α ≤ 1.
+	Alpha float64
+	// D is the number of past days in the history matrix, D ≥ 1.
+	D int
+	// K is the number of current-day slots conditioning ΦK, K ≥ 1.
+	K int
+}
+
+// Validate reports whether the parameters are in the algorithm's domain.
+func (p Params) Validate() error {
+	if p.Alpha < 0 || p.Alpha > 1 || math.IsNaN(p.Alpha) {
+		return fmt.Errorf("core: alpha %.3f out of [0,1]", p.Alpha)
+	}
+	if p.D < 1 {
+		return fmt.Errorf("core: D %d < 1", p.D)
+	}
+	if p.K < 1 {
+		return fmt.Errorf("core: K %d < 1", p.K)
+	}
+	return nil
+}
+
+// Predictor is the online WCMA predictor. Feed it one measured slot power
+// per slot with Observe, obtain the next-slot forecast with Predict.
+//
+// The zero value is not usable; construct with New. The predictor keeps a
+// ring buffer of the last D full days plus the partially elapsed current
+// day, mirroring the E(D×N) matrix and Ẽ(N) vector of the paper's Fig. 3.
+type Predictor struct {
+	params Params
+	n      int // slots per day
+
+	// hist is the D×N history ring; hist[r][j] is slot j of some past
+	// day. rows filled so far is histDays.
+	hist     [][]float64
+	histNext int // ring insertion index
+	histDays int // number of valid rows (≤ D)
+
+	// cur is the current day's measurements up to curSlot (exclusive).
+	cur     []float64
+	curSlot int
+
+	// prev is the most recent completed day, used for the K-window
+	// wrap-around at the start of a day.
+	prev      []float64
+	prevValid bool
+}
+
+// New creates a Predictor for n slots per day with the given parameters.
+func New(n int, params Params) (*Predictor, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 slots per day, got %d", n)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.K > n {
+		return nil, fmt.Errorf("core: K %d exceeds slots per day %d", params.K, n)
+	}
+	p := &Predictor{
+		params: params,
+		n:      n,
+		hist:   make([][]float64, params.D),
+		cur:    make([]float64, n),
+		prev:   make([]float64, n),
+	}
+	for i := range p.hist {
+		p.hist[i] = make([]float64, n)
+	}
+	return p, nil
+}
+
+// N returns the configured slots per day.
+func (p *Predictor) N() int { return p.n }
+
+// Params returns the predictor's parameters.
+func (p *Predictor) Params() Params { return p.params }
+
+// HistoryDays returns how many full days have been absorbed, capped at D.
+func (p *Predictor) HistoryDays() int { return p.histDays }
+
+// Ready reports whether the history matrix is fully populated (D days),
+// after which predictions use the complete μD average.
+func (p *Predictor) Ready() bool { return p.histDays >= p.params.D }
+
+// Observe records the measured power at the start of slot `slot` of the
+// current day. Slots must be observed in order 0,1,2,…,N−1; observing
+// slot 0 after slot N−1 rolls the current day into history.
+func (p *Predictor) Observe(slot int, power float64) error {
+	if slot < 0 || slot >= p.n {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, p.n)
+	}
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return fmt.Errorf("core: invalid power %v", power)
+	}
+	if slot != p.curSlot%p.n {
+		return fmt.Errorf("core: slot %d observed out of order (expected %d)", slot, p.curSlot%p.n)
+	}
+	if slot == 0 && p.curSlot == p.n {
+		p.rollDay()
+	}
+	p.cur[slot] = power
+	p.curSlot = slot + 1
+	return nil
+}
+
+// rollDay moves the completed current day into the history ring.
+func (p *Predictor) rollDay() {
+	copy(p.prev, p.cur)
+	p.prevValid = true
+	copy(p.hist[p.histNext], p.cur)
+	p.histNext = (p.histNext + 1) % p.params.D
+	if p.histDays < p.params.D {
+		p.histDays++
+	}
+	p.curSlot = 0
+}
+
+// muD returns the μD average of slot j over the valid history rows.
+// With no history at all it returns 0.
+func (p *Predictor) muD(j int) float64 {
+	if p.histDays == 0 {
+		return 0
+	}
+	var sum float64
+	for r := 0; r < p.histDays; r++ {
+		sum += p.hist[r][j]
+	}
+	return sum / float64(p.histDays)
+}
+
+// currentOrPrev returns the measurement for current-day slot index j,
+// which may be negative to reach into the previous day (wrap-around for
+// the ΦK window at the start of a day).
+func (p *Predictor) currentOrPrev(j int) (float64, bool) {
+	if j >= 0 {
+		if j >= p.curSlot {
+			return 0, false // not yet observed
+		}
+		return p.cur[j], true
+	}
+	if !p.prevValid {
+		return 0, false
+	}
+	idx := p.n + j
+	if idx < 0 {
+		return 0, false
+	}
+	return p.prev[idx], true
+}
+
+// Phi computes the conditioning factor ΦK for a prediction made after
+// observing slot n (zero-based). It is exported for white-box tests and
+// the fixed-point cross-validation in internal/mcu.
+func (p *Predictor) Phi(n int) float64 {
+	k := p.params.K
+	var num, den float64
+	for i := 1; i <= k; i++ {
+		theta := float64(i) / float64(k)
+		slot := n - k + i // current-day index of the i-th window slot
+		meas, ok := p.currentOrPrev(slot)
+		eta := 1.0
+		if ok {
+			var mu float64
+			if slot >= 0 {
+				mu = p.muD(slot)
+			} else {
+				mu = p.muD(p.n + slot)
+			}
+			if mu > MuEpsilon {
+				eta = meas / mu
+				if eta > EtaMax {
+					eta = EtaMax
+				}
+			}
+		}
+		num += theta * eta
+		den += theta
+	}
+	return num / den
+}
+
+// Predict returns the forecast power at the start of the next slot, i.e.
+// the slot after the last observed one. The next slot may be slot 0 of
+// the following day, in which case μD of slot 0 is used.
+//
+// Predict returns an error when no slot of the current day has been
+// observed yet.
+func (p *Predictor) Predict() (float64, error) {
+	if p.curSlot == 0 {
+		return 0, fmt.Errorf("core: no observation yet for the current day")
+	}
+	n := p.curSlot - 1 // last observed slot
+	next := (n + 1) % p.n
+	mu := p.muD(next)
+	phi := p.Phi(n)
+	alpha := p.params.Alpha
+	pred := alpha*p.cur[n] + (1-alpha)*mu*phi
+	if pred < 0 {
+		pred = 0
+	}
+	return pred, nil
+}
+
+// PredictWith evaluates Eq. 1 for an arbitrary (α, K) without changing
+// the predictor's configured parameters, reusing the current history
+// state. D is fixed by construction (it determines storage). This is the
+// primitive used by the dynamic parameter-selection study.
+func (p *Predictor) PredictWith(alpha float64, k int) (float64, error) {
+	if alpha < 0 || alpha > 1 {
+		return 0, fmt.Errorf("core: alpha %.3f out of [0,1]", alpha)
+	}
+	pers, cond, err := p.Terms(k)
+	if err != nil {
+		return 0, err
+	}
+	return Combine(alpha, pers, cond), nil
+}
+
+// Terms returns the two building blocks of Eq. 1 for the next-slot
+// prediction using an arbitrary window size k: the persistence term
+// ẽ(n) and the conditioned average μD(n+1)·ΦK. A prediction for any α is
+// then α·pers + (1−α)·cond, letting callers sweep α without recomputing
+// ΦK. D is fixed by construction.
+func (p *Predictor) Terms(k int) (pers, cond float64, err error) {
+	if p.curSlot == 0 {
+		return 0, 0, fmt.Errorf("core: no observation yet for the current day")
+	}
+	if k < 1 || k > p.n {
+		return 0, 0, fmt.Errorf("core: K %d out of range [1,%d]", k, p.n)
+	}
+	saved := p.params.K
+	p.params.K = k
+	n := p.curSlot - 1
+	phi := p.Phi(n)
+	p.params.K = saved
+	next := (n + 1) % p.n
+	return p.cur[n], p.muD(next) * phi, nil
+}
+
+// Combine evaluates Eq. 1 from terms produced by Terms, clamping at zero.
+func Combine(alpha, pers, cond float64) float64 {
+	pred := alpha*pers + (1-alpha)*cond
+	if pred < 0 {
+		return 0
+	}
+	return pred
+}
+
+// Reset clears all state, returning the predictor to its initial
+// condition with the same parameters.
+func (p *Predictor) Reset() {
+	for i := range p.hist {
+		for j := range p.hist[i] {
+			p.hist[i][j] = 0
+		}
+	}
+	for j := range p.cur {
+		p.cur[j] = 0
+		p.prev[j] = 0
+	}
+	p.histNext, p.histDays, p.curSlot = 0, 0, 0
+	p.prevValid = false
+}

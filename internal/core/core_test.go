@@ -1,0 +1,424 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, n int, p Params) *Predictor {
+	t.Helper()
+	pred, err := New(n, p)
+	if err != nil {
+		t.Fatalf("New(%d, %+v): %v", n, p, err)
+	}
+	return pred
+}
+
+// feedDay observes one full day of measurements in slot order.
+func feedDay(t *testing.T, p *Predictor, day []float64) {
+	t.Helper()
+	for j, v := range day {
+		if err := p.Observe(j, v); err != nil {
+			t.Fatalf("Observe(%d, %v): %v", j, v, err)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Alpha: 0.7, D: 20, K: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []Params{
+		{Alpha: -0.1, D: 5, K: 1},
+		{Alpha: 1.1, D: 5, K: 1},
+		{Alpha: math.NaN(), D: 5, K: 1},
+		{Alpha: 0.5, D: 0, K: 1},
+		{Alpha: 0.5, D: 5, K: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, Params{Alpha: 0.5, D: 2, K: 1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(24, Params{Alpha: 0.5, D: 2, K: 25}); err == nil {
+		t.Error("K > N accepted")
+	}
+	if _, err := New(24, Params{Alpha: 0.5, D: 2, K: 1}); err != nil {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	p := mustNew(t, 4, Params{Alpha: 0.5, D: 2, K: 1})
+	if err := p.Observe(-1, 5); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if err := p.Observe(4, 5); err == nil {
+		t.Error("slot >= N accepted")
+	}
+	if err := p.Observe(0, -3); err == nil {
+		t.Error("negative power accepted")
+	}
+	if err := p.Observe(0, math.NaN()); err == nil {
+		t.Error("NaN power accepted")
+	}
+	if err := p.Observe(0, math.Inf(1)); err == nil {
+		t.Error("Inf power accepted")
+	}
+	if err := p.Observe(2, 5); err == nil {
+		t.Error("out-of-order slot accepted")
+	}
+	if err := p.Observe(0, 5); err != nil {
+		t.Errorf("valid observe failed: %v", err)
+	}
+	if err := p.Observe(0, 5); err == nil {
+		t.Error("repeated slot accepted")
+	}
+}
+
+func TestPredictNeedsObservation(t *testing.T) {
+	p := mustNew(t, 4, Params{Alpha: 0.5, D: 2, K: 1})
+	if _, err := p.Predict(); err == nil {
+		t.Error("Predict before any Observe should error")
+	}
+	if _, _, err := p.Terms(1); err == nil {
+		t.Error("Terms before any Observe should error")
+	}
+	if _, err := p.PredictWith(0.5, 1); err == nil {
+		t.Error("PredictWith before any Observe should error")
+	}
+}
+
+func TestPersistenceLimitAlphaOne(t *testing.T) {
+	// With α = 1 the prediction must equal the current measurement
+	// regardless of history.
+	p := mustNew(t, 4, Params{Alpha: 1, D: 2, K: 2})
+	feedDay(t, p, []float64{1, 2, 3, 4})
+	feedDay(t, p, []float64{10, 20, 30, 40})
+	for j, v := range []float64{7, 13, 99} {
+		if err := p.Observe(j, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("alpha=1 slot %d: predict %v, want %v", j, got, v)
+		}
+	}
+}
+
+func TestConditionedAverageLimitAlphaZero(t *testing.T) {
+	// With α = 0 and a current day identical to history, Φ = 1 and the
+	// prediction must equal μD of the next slot.
+	day := []float64{0, 100, 200, 100}
+	p := mustNew(t, 4, Params{Alpha: 0, D: 3, K: 2})
+	for i := 0; i < 3; i++ {
+		feedDay(t, p, day)
+	}
+	if err := p.Observe(0, day[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The third completed day rolls into history on this slot-0
+	// observation, filling the D=3 matrix.
+	if !p.Ready() {
+		t.Fatal("history should be full after D completed days")
+	}
+	if err := p.Observe(1, day[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-200) > 1e-9 {
+		t.Errorf("alpha=0 identical-history prediction = %v, want 200", got)
+	}
+}
+
+func TestPhiScalesWithBrightness(t *testing.T) {
+	// Current day exactly half as bright as history: Φ must be 0.5 and an
+	// α=0 prediction must be half of μD.
+	day := []float64{0, 100, 200, 100}
+	half := []float64{0, 50, 100, 50}
+	p := mustNew(t, 4, Params{Alpha: 0, D: 2, K: 2})
+	feedDay(t, p, day)
+	feedDay(t, p, day)
+	if err := p.Observe(0, half[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(1, half[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(2, half[2]); err != nil {
+		t.Fatal(err)
+	}
+	// After observing slot 2, Phi(2) uses slots 1 and 2 with weights
+	// 1/2 and 1: both ratios are 0.5.
+	if phi := p.Phi(2); math.Abs(phi-0.5) > 1e-12 {
+		t.Errorf("Phi = %v, want 0.5", phi)
+	}
+	got, err := p.Predict() // predicts slot 3: μD=100, Φ=0.5 → 50
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("half-brightness prediction = %v, want 50", got)
+	}
+}
+
+func TestPhiWeightsFavourRecentSlots(t *testing.T) {
+	// History flat at 100. Current day: older window slot ratio 1.0,
+	// newest ratio 0.2. With K=2, θ = {1/2, 1}:
+	// Φ = (0.5·1.0 + 1·0.2)/1.5 = 0.4666…
+	p := mustNew(t, 4, Params{Alpha: 0, D: 2, K: 2})
+	flat := []float64{100, 100, 100, 100}
+	feedDay(t, p, flat)
+	feedDay(t, p, flat)
+	if err := p.Observe(0, 100); err != nil { // ratio 1.0 at slot 0
+		t.Fatal(err)
+	}
+	if err := p.Observe(1, 20); err != nil { // ratio 0.2 at slot 1
+		t.Fatal(err)
+	}
+	want := (0.5*1.0 + 1*0.2) / 1.5
+	if phi := p.Phi(1); math.Abs(phi-want) > 1e-12 {
+		t.Errorf("Phi = %v, want %v", phi, want)
+	}
+}
+
+func TestPhiNeutralOnNightHistory(t *testing.T) {
+	// μD = 0 for the window slots: η must default to 1, so Φ = 1.
+	p := mustNew(t, 4, Params{Alpha: 0, D: 2, K: 2})
+	feedDay(t, p, []float64{0, 0, 0, 100})
+	feedDay(t, p, []float64{0, 0, 0, 100})
+	if err := p.Observe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if phi := p.Phi(1); math.Abs(phi-1) > 1e-12 {
+		t.Errorf("night Phi = %v, want 1", phi)
+	}
+}
+
+func TestKWindowWrapsIntoPreviousDay(t *testing.T) {
+	// Predicting slot 1 after observing only slot 0 with K=3 needs slots
+	// −2, −1, 0; the negative ones come from the previous day.
+	p := mustNew(t, 4, Params{Alpha: 0, D: 2, K: 3})
+	feedDay(t, p, []float64{100, 100, 100, 100})
+	feedDay(t, p, []float64{100, 100, 100, 50}) // last day's evening dimmer
+	if err := p.Observe(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Window slots: day-2 slot 2 (100 vs μ=100 → 1, θ=1/3),
+	// day-2 slot 3 (50 vs μ=75 → 2/3, θ=2/3), today slot 0 (100 vs μ=100
+	// → 1, θ=1). Φ = (1/3 + 2/3·2/3 + 1)/(1/3+2/3+1) = (1/3+4/9+1)/2.
+	want := (1.0/3 + 4.0/9 + 1) / 2
+	if phi := p.Phi(0); math.Abs(phi-want) > 1e-12 {
+		t.Errorf("wrapped Phi = %v, want %v", phi, want)
+	}
+}
+
+func TestHistoryRingKeepsOnlyDDays(t *testing.T) {
+	p := mustNew(t, 2, Params{Alpha: 0, D: 2, K: 1})
+	feedDay(t, p, []float64{10, 10})
+	feedDay(t, p, []float64{20, 20})
+	feedDay(t, p, []float64{30, 30})
+	// History must now be days {20,30}; feeding slot 0 rolls day 3 in and
+	// evicts day 1.
+	if err := p.Observe(0, 25); err != nil {
+		t.Fatal(err)
+	}
+	// μD(1) = (20+30)/2 = 25. Current slot 0 = 25 vs μD(0) = 25 → Φ = 1.
+	got, err := p.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-25) > 1e-9 {
+		t.Errorf("ring prediction = %v, want 25", got)
+	}
+	if p.HistoryDays() != 2 {
+		t.Errorf("HistoryDays = %d, want 2", p.HistoryDays())
+	}
+}
+
+func TestPredictAcrossMidnight(t *testing.T) {
+	// After the last slot of a day, Predict forecasts slot 0 of the next
+	// day from μD(0).
+	p := mustNew(t, 3, Params{Alpha: 0.5, D: 2, K: 1})
+	feedDay(t, p, []float64{40, 100, 60})
+	feedDay(t, p, []float64{40, 100, 60})
+	feedDay(t, p, []float64{40, 100, 60})
+	// Current slot is 2 (value 60); next is slot 0 with μD = 40, Φ uses
+	// slot 2 ratio 60/60=1 → prediction = 0.5·60 + 0.5·40 = 50.
+	got, err := p.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("midnight prediction = %v, want 50", got)
+	}
+}
+
+func TestPredictWithMatchesConfigured(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	params := Params{Alpha: 0.7, D: 4, K: 3}
+	p := mustNew(t, 6, params)
+	for d := 0; d < 6; d++ {
+		for j := 0; j < 6; j++ {
+			if err := p.Observe(j, rng.Float64()*500); err != nil {
+				t.Fatal(err)
+			}
+			want, err := p.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.PredictWith(params.Alpha, params.K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("PredictWith diverges: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestPredictWithValidation(t *testing.T) {
+	p := mustNew(t, 4, Params{Alpha: 0.5, D: 2, K: 1})
+	if err := p.Observe(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PredictWith(-0.1, 1); err == nil {
+		t.Error("alpha < 0 accepted")
+	}
+	if _, err := p.PredictWith(0.5, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := p.PredictWith(0.5, 5); err == nil {
+		t.Error("K>N accepted")
+	}
+}
+
+func TestTermsDoNotMutateParams(t *testing.T) {
+	p := mustNew(t, 4, Params{Alpha: 0.5, D: 2, K: 1})
+	if err := p.Observe(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Terms(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Params().K != 1 {
+		t.Errorf("Terms mutated K to %d", p.Params().K)
+	}
+}
+
+func TestCombineClampsNegative(t *testing.T) {
+	if Combine(0.5, -10, -10) != 0 {
+		t.Error("negative combination not clamped")
+	}
+	if Combine(0.5, 10, 30) != 20 {
+		t.Error("Combine arithmetic wrong")
+	}
+}
+
+func TestPredictionNonnegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := New(8, Params{Alpha: rng.Float64(), D: 1 + rng.Intn(5), K: 1 + rng.Intn(4)})
+		if err != nil {
+			return false
+		}
+		for d := 0; d < 4; d++ {
+			for j := 0; j < 8; j++ {
+				if err := p.Observe(j, rng.Float64()*1000); err != nil {
+					return false
+				}
+				v, err := p.Predict()
+				if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictionScaleInvariance(t *testing.T) {
+	// MAPE-style invariance: scaling all inputs by c scales predictions
+	// by c (the algorithm is positively homogeneous of degree 1).
+	run := func(scale float64, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := New(6, Params{Alpha: 0.6, D: 3, K: 2})
+		var preds []float64
+		for d := 0; d < 5; d++ {
+			for j := 0; j < 6; j++ {
+				if err := p.Observe(j, rng.Float64()*300*scale); err != nil {
+					panic(err)
+				}
+				v, err := p.Predict()
+				if err != nil {
+					panic(err)
+				}
+				preds = append(preds, v)
+			}
+		}
+		return preds
+	}
+	// Same seed gives the same underlying randoms; run with scale 1 and 7.
+	a := run(1, 11)
+	b := run(7, 11)
+	for i := range a {
+		if math.Abs(b[i]-7*a[i]) > 1e-6*(1+7*a[i]) {
+			t.Fatalf("not scale invariant at %d: %v vs 7·%v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := mustNew(t, 4, Params{Alpha: 0.5, D: 2, K: 2})
+	feedDay(t, p, []float64{1, 2, 3, 4})
+	feedDay(t, p, []float64{1, 2, 3, 4})
+	p.Reset()
+	if p.HistoryDays() != 0 || p.Ready() {
+		t.Error("Reset did not clear history")
+	}
+	if _, err := p.Predict(); err == nil {
+		t.Error("Predict after Reset should error until an observation")
+	}
+	// Must accept a fresh day from slot 0.
+	if err := p.Observe(0, 5); err != nil {
+		t.Errorf("Observe after Reset: %v", err)
+	}
+}
+
+func TestColdStartPredictsZeroishWithoutHistory(t *testing.T) {
+	// With no history, μD = 0, so an α=0 prediction is 0 and an α=0.5
+	// prediction is half the current sample.
+	p := mustNew(t, 4, Params{Alpha: 0.5, D: 3, K: 1})
+	if err := p.Observe(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-12 {
+		t.Errorf("cold-start prediction = %v, want 50", got)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DynamicMode selects which parameters the clairvoyant dynamic study of
+// the paper's Section IV-C is allowed to adapt at every prediction.
+type DynamicMode int
+
+// Dynamic adaptation modes, matching the columns of the paper's Table V.
+const (
+	// DynamicAlphaK adapts both α and K per prediction ("K+α" column).
+	DynamicAlphaK DynamicMode = iota
+	// DynamicKOnly adapts K at a fixed α ("K only" column).
+	DynamicKOnly
+	// DynamicAlphaOnly adapts α at a fixed K ("α only" column).
+	DynamicAlphaOnly
+)
+
+// String names the mode as in the paper's Table V headings.
+func (m DynamicMode) String() string {
+	switch m {
+	case DynamicAlphaK:
+		return "K+alpha"
+	case DynamicKOnly:
+		return "K only"
+	case DynamicAlphaOnly:
+		return "alpha only"
+	default:
+		return fmt.Sprintf("DynamicMode(%d)", int(m))
+	}
+}
+
+// DynamicGrid is the candidate set the clairvoyant selector chooses from.
+// The paper uses 0 ≤ α ≤ 1 in steps of 0.1 and 1 ≤ K ≤ 6.
+type DynamicGrid struct {
+	Alphas []float64
+	Ks     []int
+}
+
+// DefaultDynamicGrid returns the paper's candidate grid.
+func DefaultDynamicGrid() DynamicGrid {
+	alphas := make([]float64, 11)
+	for i := range alphas {
+		alphas[i] = float64(i) / 10
+	}
+	return DynamicGrid{Alphas: alphas, Ks: []int{1, 2, 3, 4, 5, 6}}
+}
+
+// Validate checks the grid is non-empty and in range.
+func (g DynamicGrid) Validate() error {
+	if len(g.Alphas) == 0 || len(g.Ks) == 0 {
+		return fmt.Errorf("core: dynamic grid must have at least one alpha and one K")
+	}
+	for _, a := range g.Alphas {
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return fmt.Errorf("core: dynamic grid alpha %.3f out of [0,1]", a)
+		}
+	}
+	for _, k := range g.Ks {
+		if k < 1 {
+			return fmt.Errorf("core: dynamic grid K %d < 1", k)
+		}
+	}
+	return nil
+}
+
+// DynamicChoice records the clairvoyant pick at one prediction point.
+type DynamicChoice struct {
+	Alpha      float64
+	K          int
+	Prediction float64
+	AbsError   float64
+}
+
+// BestPrediction evaluates the predictor's Eq. 1 for every candidate in
+// the grid permitted by mode (with fixedAlpha/fixedK pinning the
+// non-adapted parameter) and returns the choice minimising |target − ê|.
+// This is the clairvoyant oracle of Table V: it needs the target (the
+// future slot's actual value), so it bounds what any dynamic parameter
+// selection algorithm could achieve.
+func BestPrediction(p *Predictor, grid DynamicGrid, mode DynamicMode, fixedAlpha float64, fixedK int, target float64) (DynamicChoice, error) {
+	if err := grid.Validate(); err != nil {
+		return DynamicChoice{}, err
+	}
+	alphas := grid.Alphas
+	ks := grid.Ks
+	switch mode {
+	case DynamicAlphaK:
+		// full grid
+	case DynamicKOnly:
+		alphas = []float64{fixedAlpha}
+	case DynamicAlphaOnly:
+		ks = []int{fixedK}
+	default:
+		return DynamicChoice{}, fmt.Errorf("core: unknown dynamic mode %d", mode)
+	}
+	best := DynamicChoice{AbsError: math.Inf(1)}
+	for _, k := range ks {
+		pers, cond, err := p.Terms(k)
+		if err != nil {
+			return DynamicChoice{}, err
+		}
+		for _, a := range alphas {
+			pred := Combine(a, pers, cond)
+			if e := math.Abs(target - pred); e < best.AbsError {
+				best = DynamicChoice{Alpha: a, K: k, Prediction: pred, AbsError: e}
+			}
+		}
+	}
+	return best, nil
+}

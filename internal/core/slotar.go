@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SlotAR is a two-stage statistical baseline from the family the
+// related-work comparison [7] covers: a per-slot exponential mean
+// captures the diurnal profile (like EWMA [2]), and a first-order
+// autoregression on the *relative deviation* from that profile captures
+// intra-day weather persistence (the role ΦK plays in WCMA, but learned
+// rather than fixed).
+//
+// Model:
+//
+//	profile:    m_d(j)   = β·e_d(j) + (1−β)·m_{d−1}(j)
+//	deviation:  x(t)     = e(t)/m(j(t)) − 1            (when m is sensible)
+//	regression: x̂(t+1)   = ρ̂·x(t),  ρ̂ from exponentially weighted
+//	            least squares over past deviation pairs
+//	forecast:   ê(t+1)   = m(j(t+1))·(1 + ρ̂·x(t)), clamped at 0
+//
+// ρ̂ is re-estimated online with forgetting factor λ, so the predictor
+// has no offline training phase — the same deployment constraint the
+// WCMA parameters face.
+type SlotAR struct {
+	n      int
+	beta   float64
+	lambda float64
+
+	avg     []float64
+	seeded  []bool
+	cur     []float64
+	curSlot int
+
+	// Exponentially weighted sufficient statistics of the deviation
+	// AR(1): Σ x_{t−1}·x_t and Σ x_{t−1}².
+	sxy, sxx float64
+	// prevDev is x(t−1) together with its validity.
+	lastDev   float64
+	lastDevOK bool
+}
+
+// devEpsilon is the profile level below which relative deviations are
+// meaningless (dawn/night); matches the spirit of MuEpsilon.
+const devEpsilon = 1e-6
+
+// devClamp bounds the deviation magnitude fed to the regression, for the
+// same dawn-ratio reasons ΦK clamps η.
+const devClamp = 3.0
+
+// NewSlotAR creates the predictor: n slots per day, profile smoothing
+// 0 < beta ≤ 1 and regression forgetting 0 < lambda ≤ 1.
+func NewSlotAR(n int, beta, lambda float64) (*SlotAR, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 slots per day, got %d", n)
+	}
+	if beta <= 0 || beta > 1 || math.IsNaN(beta) {
+		return nil, fmt.Errorf("core: beta %.3f out of (0,1]", beta)
+	}
+	if lambda <= 0 || lambda > 1 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("core: lambda %.3f out of (0,1]", lambda)
+	}
+	return &SlotAR{
+		n:      n,
+		beta:   beta,
+		lambda: lambda,
+		avg:    make([]float64, n),
+		seeded: make([]bool, n),
+		cur:    make([]float64, n),
+	}, nil
+}
+
+// N returns the slots per day.
+func (s *SlotAR) N() int { return s.n }
+
+// Rho returns the current AR coefficient estimate (0 before any data).
+func (s *SlotAR) Rho() float64 {
+	if s.sxx <= 0 {
+		return 0
+	}
+	r := s.sxy / s.sxx
+	// The deviation process is stationary in practice; keep the estimate
+	// in a stable band.
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// deviation returns the relative deviation of a measurement from the
+// slot profile, clamped; ok=false when the profile is too small.
+func (s *SlotAR) deviation(slot int, power float64) (float64, bool) {
+	if !s.seeded[slot] || s.avg[slot] < devEpsilon {
+		return 0, false
+	}
+	d := power/s.avg[slot] - 1
+	if d > devClamp {
+		d = devClamp
+	}
+	if d < -1 {
+		d = -1
+	}
+	return d, true
+}
+
+// Observe implements SlotPredictor.
+func (s *SlotAR) Observe(slot int, power float64) error {
+	if slot < 0 || slot >= s.n {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, s.n)
+	}
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return fmt.Errorf("core: invalid power %v", power)
+	}
+	if slot != s.curSlot%s.n {
+		return fmt.Errorf("core: slot %d observed out of order (expected %d)", slot, s.curSlot%s.n)
+	}
+	if slot == 0 && s.curSlot == s.n {
+		for j := 0; j < s.n; j++ {
+			if s.seeded[j] {
+				s.avg[j] = s.beta*s.cur[j] + (1-s.beta)*s.avg[j]
+			} else {
+				s.avg[j] = s.cur[j]
+				s.seeded[j] = true
+			}
+		}
+		s.curSlot = 0
+	}
+	s.cur[slot] = power
+
+	// Update the deviation regression with the (x_{t−1}, x_t) pair.
+	dev, ok := s.deviation(slot, power)
+	if ok && s.lastDevOK {
+		s.sxy = s.lambda*s.sxy + s.lastDev*dev
+		s.sxx = s.lambda*s.sxx + s.lastDev*s.lastDev
+	}
+	s.lastDev, s.lastDevOK = dev, ok
+
+	s.curSlot = slot + 1
+	return nil
+}
+
+// Predict implements SlotPredictor.
+func (s *SlotAR) Predict() (float64, error) {
+	if s.curSlot == 0 {
+		return 0, fmt.Errorf("core: no observation yet for the current day")
+	}
+	next := s.curSlot % s.n
+	base := 0.0
+	if s.seeded[next] {
+		base = s.avg[next]
+	}
+	pred := base
+	if s.lastDevOK {
+		pred = base * (1 + s.Rho()*s.lastDev)
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	return pred, nil
+}
+
+// Interface conformance.
+var _ SlotPredictor = (*SlotAR)(nil)

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSlotARValidation(t *testing.T) {
+	if _, err := NewSlotAR(1, 0.5, 0.99); err == nil {
+		t.Error("n=1 accepted")
+	}
+	for _, bad := range [][2]float64{{0, 0.99}, {1.5, 0.99}, {0.5, 0}, {0.5, 1.5}, {math.NaN(), 0.9}} {
+		if _, err := NewSlotAR(4, bad[0], bad[1]); err == nil {
+			t.Errorf("beta=%v lambda=%v accepted", bad[0], bad[1])
+		}
+	}
+	s, err := NewSlotAR(4, 0.5, 0.99)
+	if err != nil || s.N() != 4 {
+		t.Fatalf("valid construction failed: %v", err)
+	}
+	if _, err := s.Predict(); err == nil {
+		t.Error("Predict before Observe accepted")
+	}
+	if err := s.Observe(2, 5); err == nil {
+		t.Error("out-of-order accepted")
+	}
+	if err := s.Observe(0, -1); err == nil {
+		t.Error("negative power accepted")
+	}
+	if err := s.Observe(0, math.Inf(1)); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestSlotARLearnsProfile(t *testing.T) {
+	// Perfectly periodic input: after a few days the forecast must equal
+	// the profile exactly (deviations are zero, ρ irrelevant).
+	s, err := NewSlotAR(4, 0.5, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := []float64{0, 100, 200, 100}
+	for d := 0; d < 6; d++ {
+		for j, v := range day {
+			if err := s.Observe(j, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Observe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Predict() // slot 1 → 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-6 {
+		t.Errorf("periodic forecast = %v, want 100", got)
+	}
+}
+
+func TestSlotARLearnsPersistence(t *testing.T) {
+	// Input with strongly persistent relative deviations (whole cloudy
+	// days at 50 % of profile): ρ̂ must become clearly positive and the
+	// forecast on a cloudy day must undershoot the profile.
+	s, err := NewSlotAR(6, 0.3, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := []float64{0, 100, 300, 400, 300, 100}
+	rng := rand.New(rand.NewSource(2))
+	for d := 0; d < 40; d++ {
+		scale := 1.0
+		if rng.Intn(2) == 0 {
+			scale = 0.5
+		}
+		for j, v := range profile {
+			if err := s.Observe(j, v*scale); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.Rho() < 0.3 {
+		t.Errorf("rho = %.3f, expected clearly positive persistence", s.Rho())
+	}
+	// Mid-morning of a dark day: observe 50 % values, forecast for the
+	// next slot should be well below profile.
+	for j, v := range profile[:3] {
+		if err := s.Observe(j, v*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Predict() // slot 3, profile ≈ 400-ish
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 350 {
+		t.Errorf("dark-day forecast %v should be well below the ~400 profile", got)
+	}
+}
+
+func TestSlotARNonnegativeAndFinite(t *testing.T) {
+	s, err := NewSlotAR(8, 0.4, 0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for d := 0; d < 20; d++ {
+		for j := 0; j < 8; j++ {
+			if err := s.Observe(j, rng.Float64()*900); err != nil {
+				t.Fatal(err)
+			}
+			v, err := s.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bad forecast %v", v)
+			}
+		}
+	}
+}
+
+func TestSlotARRhoBounded(t *testing.T) {
+	s, err := NewSlotAR(4, 0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rho() != 0 {
+		t.Error("rho before data should be 0")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for d := 0; d < 50; d++ {
+		for j := 0; j < 4; j++ {
+			if err := s.Observe(j, 50+rng.Float64()*500); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r := s.Rho(); r < -1 || r > 1 {
+			t.Fatalf("rho %v out of [-1,1]", r)
+		}
+	}
+}

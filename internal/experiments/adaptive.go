@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"solarpred/internal/adaptive"
+	"solarpred/internal/core"
+	"solarpred/internal/optimize"
+)
+
+// TableVIRow is one (site, N) row of the realizable dynamic-parameter
+// study — this library's extension of the paper's Table V, answering its
+// closing question: how much of the clairvoyant gain can an algorithm
+// that only sees the past actually collect?
+type TableVIRow struct {
+	Site string
+	N    int
+	// Degenerate mirrors the Table III footnote rows.
+	Degenerate bool
+	// Static is the hindsight-best fixed-parameter MAPE (Table III).
+	Static float64
+	// Oracle is the clairvoyant K+α bound (Table V).
+	Oracle float64
+	// Policies holds one result per realizable policy, in the order
+	// returned by PolicyNames.
+	Policies []optimize.AdaptiveResult
+}
+
+// PolicyNames lists the realizable policies evaluated by TableVI, in
+// report order.
+func PolicyNames() []string {
+	return []string{"follow-the-leader", "discounted-ftl(0.998)", "window(2d)", "hedge(0.2)"}
+}
+
+// buildPolicies constructs fresh selector instances for n candidates and
+// sampling rate nSlots (the window policy spans two days of slots).
+func buildPolicies(n, nSlots int) ([]adaptive.Selector, error) {
+	ftl, err := adaptive.NewFollowTheLeader(n)
+	if err != nil {
+		return nil, err
+	}
+	disc, err := adaptive.NewDiscounted(n, 0.998)
+	if err != nil {
+		return nil, err
+	}
+	win, err := adaptive.NewSlidingWindow(n, 2*nSlots)
+	if err != nil {
+		return nil, err
+	}
+	hedge, err := adaptive.NewHedge(n, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	return []adaptive.Selector{ftl, disc, win, hedge}, nil
+}
+
+// TableVI runs the realizable dynamic-parameter study over the
+// configured sites and sampling rates: for every (site, N) it reports
+// the static hindsight optimum, the clairvoyant oracle bound, and the
+// MAPE each online policy achieves with no offline tuning at all.
+func TableVI(cfg Config) ([]TableVIRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	grid := core.DynamicGrid{Alphas: cfg.Space.Alphas, Ks: cfg.Space.Ks}
+	cands, err := adaptive.Grid(cfg.Space.Alphas, cfg.Space.Ks)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableVIRow
+	for _, site := range cfg.Sites {
+		for _, n := range cfg.Ns {
+			row := TableVIRow{Site: site, N: n}
+			deg, err := Degenerate(site, n)
+			if err != nil {
+				return nil, err
+			}
+			if deg {
+				row.Degenerate = true
+				rows = append(rows, row)
+				continue
+			}
+			e, _, err := cfg.evalFor(site, n)
+			if err != nil {
+				return nil, err
+			}
+			res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+			if err != nil {
+				return nil, err
+			}
+			d := res.Best.Params.D
+			dyn, err := e.DynamicEval(d, grid, res.Best, optimize.RefSlotMean)
+			if err != nil {
+				return nil, err
+			}
+			row.Static = res.Best.Report.MAPE
+			row.Oracle = dyn.BothMAPE
+
+			policies, err := buildPolicies(len(cands), n)
+			if err != nil {
+				return nil, err
+			}
+			for _, sel := range policies {
+				r, err := e.AdaptiveEval(d, cands, sel, optimize.RefSlotMean)
+				if err != nil {
+					return nil, err
+				}
+				if r.Report.MAPE < row.Oracle-1e-9 {
+					return nil, fmt.Errorf("experiments: %s N=%d: policy %s beat the oracle — bug",
+						site, n, sel.Name())
+				}
+				row.Policies = append(row.Policies, *r)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestTableVI(t *testing.T) {
+	cfg := quick()
+	cfg.Ns = []int{24}
+	rows, err := TableVI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Sites) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Degenerate {
+			continue
+		}
+		if len(r.Policies) != 4 {
+			t.Fatalf("%s: %d policies", r.Site, len(r.Policies))
+		}
+		if r.Oracle >= r.Static {
+			t.Errorf("%s: oracle %.4f not below static %.4f", r.Site, r.Oracle, r.Static)
+		}
+		for _, p := range r.Policies {
+			if p.Report.MAPE < r.Oracle-1e-9 {
+				t.Errorf("%s/%s: beats oracle", r.Site, p.Policy)
+			}
+			// Realizable self-tuning must stay within 30 % of the
+			// hindsight-best static configuration on these traces.
+			if p.Report.MAPE > r.Static*1.3 {
+				t.Errorf("%s/%s: %.4f far above static %.4f", r.Site, p.Policy, p.Report.MAPE, r.Static)
+			}
+		}
+	}
+}
+
+func TestTableVIDegenerate(t *testing.T) {
+	cfg := quick()
+	cfg.Sites = []string{"SPMD"}
+	cfg.Ns = []int{288}
+	rows, err := TableVI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].Degenerate || len(rows[0].Policies) != 0 {
+		t.Errorf("degenerate row = %+v", rows[0])
+	}
+}
+
+func TestPolicyNamesCount(t *testing.T) {
+	if len(PolicyNames()) != 4 {
+		t.Error("policy name list out of sync")
+	}
+}

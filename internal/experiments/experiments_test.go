@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"solarpred/internal/optimize"
+)
+
+// quick returns a minimal configuration exercising the full pipeline
+// cheaply.
+func quick() Config {
+	return Config{
+		Sites:      []string{"SPMD", "NPCS"},
+		Days:       40,
+		WarmupDays: 10,
+		Ns:         []int{48, 24},
+		Space: optimize.Space{
+			Alphas: []float64{0, 0.5, 1},
+			Ds:     []int{2, 6, 10},
+			Ks:     []int{1, 2, 3},
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Errorf("quick config invalid: %v", err)
+	}
+	bad := quick()
+	bad.Sites = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no sites accepted")
+	}
+	bad = quick()
+	bad.Sites = []string{"NOPE"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown site accepted")
+	}
+	bad = quick()
+	bad.Days = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("days under warm-up accepted")
+	}
+	bad = quick()
+	bad.Ns = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no Ns accepted")
+	}
+	bad = quick()
+	bad.Space.Ds = []int{15}
+	if err := bad.Validate(); err == nil {
+		t.Error("D beyond warm-up accepted")
+	}
+}
+
+func TestTraceCaching(t *testing.T) {
+	cfg := quick()
+	a, err := cfg.Trace("SPMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Trace("SPMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace not cached (pointer mismatch)")
+	}
+	if _, err := cfg.Trace("NOPE"); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// SPMD records at 5 min: N=288 → 5-min slots → degenerate.
+	d, err := Degenerate("SPMD", 288)
+	if err != nil || !d {
+		t.Errorf("SPMD@288 degenerate = %v, %v", d, err)
+	}
+	d, err = Degenerate("SPMD", 48)
+	if err != nil || d {
+		t.Errorf("SPMD@48 degenerate = %v, %v", d, err)
+	}
+	// ORNL records at 1 min: N=288 is fine.
+	d, err = Degenerate("ORNL", 288)
+	if err != nil || d {
+		t.Errorf("ORNL@288 degenerate = %v, %v", d, err)
+	}
+	if _, err := Degenerate("NOPE", 48); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	cfg := quick()
+	rows, err := TableII(cfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanError <= 0 || r.PrimeError <= 0 {
+			t.Errorf("%s: zero errors", r.Site)
+		}
+		// Paper headline: MAPE optimisation lands below MAPE′.
+		if r.MeanError >= r.PrimeError {
+			t.Errorf("%s: MAPE %.4f should be below MAPE' %.4f", r.Site, r.MeanError, r.PrimeError)
+		}
+		// And the MAPE-optimal α is at least the MAPE′-optimal α.
+		if r.MeanBest.Params.Alpha < r.PrimeBest.Params.Alpha {
+			t.Errorf("%s: alpha ordering violated (%v < %v)",
+				r.Site, r.MeanBest.Params.Alpha, r.PrimeBest.Params.Alpha)
+		}
+	}
+	bad := quick()
+	bad.Sites = nil
+	if _, err := TableII(bad, 48); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	cfg := quick()
+	rows, err := TableIII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Sites)*len(cfg.Ns) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Per site: error decreases (or stays equal) as N increases.
+	bySite := map[string]map[int]TableIIIRow{}
+	for _, r := range rows {
+		if bySite[r.Site] == nil {
+			bySite[r.Site] = map[int]TableIIIRow{}
+		}
+		bySite[r.Site][r.N] = r
+	}
+	for site, m := range bySite {
+		// On full-year traces the error decreases strictly with N
+		// (verified at paper scale by the bench harness); the 40-day
+		// quick trace only supports a tolerance check.
+		if m[48].Best.Report.MAPE > m[24].Best.Report.MAPE*1.15 {
+			t.Errorf("%s: MAPE at N=48 (%.4f) far above N=24 (%.4f)",
+				site, m[48].Best.Report.MAPE, m[24].Best.Report.MAPE)
+		}
+		for n, r := range m {
+			if !r.Degenerate && math.IsNaN(r.MAPEAtK2) {
+				t.Errorf("%s N=%d: missing MAPE@K=2", site, n)
+			}
+			if !r.Degenerate && r.MAPEAtK2 < r.Best.Report.MAPE-1e-12 {
+				t.Errorf("%s N=%d: K=2 error below optimum", site, n)
+			}
+		}
+	}
+	// Desert site must beat the continental one at equal N.
+	if bySite["NPCS"][48].Best.Report.MAPE >= bySite["SPMD"][48].Best.Report.MAPE {
+		t.Error("NPCS should have lower error than SPMD")
+	}
+}
+
+func TestTableIIIDegenerateRow(t *testing.T) {
+	cfg := quick()
+	cfg.Ns = []int{288}
+	cfg.Sites = []string{"SPMD"} // 5-minute data → degenerate at N=288
+	rows, err := TableIII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if !r.Degenerate {
+		t.Fatal("SPMD@288 should be degenerate")
+	}
+	if r.Best.Params.Alpha != 1 || r.Best.Report.MAPE != 0 || r.MAPEAtK2 != 0 {
+		t.Errorf("degenerate row = %+v", r)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	cfg := quick()
+	series, err := Fig7(cfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.MAPEs) != len(cfg.Space.Ds) {
+			t.Fatalf("%s: curve length %d", s.Site, len(s.MAPEs))
+		}
+		for _, m := range s.MAPEs {
+			if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+				t.Fatalf("%s: bad curve value %v", s.Site, m)
+			}
+		}
+	}
+}
+
+// TestFig7ShapeOnVariableSite checks the paper's Fig. 7 shape — error
+// falls steeply for small D and flattens — on a longer variable-site
+// trace where the day-to-day averaging matters.
+func TestFig7ShapeOnVariableSite(t *testing.T) {
+	cfg := quick()
+	cfg.Sites = []string{"SPMD"}
+	cfg.Days = 70
+	cfg.WarmupDays = 16
+	cfg.Space.Ds = []int{2, 6, 10, 14}
+	series, err := Fig7(cfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := series[0].MAPEs
+	if c[0] <= c[len(c)-1] {
+		return // already decreasing overall; fine
+	}
+	early := c[0] - c[1]
+	late := c[len(c)-2] - c[len(c)-1]
+	if late > early {
+		t.Errorf("no elbow in D curve: %v", c)
+	}
+}
+
+func TestTableV(t *testing.T) {
+	cfg := quick()
+	rows, err := TableV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Sites)*len(cfg.Ns) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Degenerate {
+			continue
+		}
+		if !(r.Both <= r.KOnly+1e-12 && r.Both <= r.AlphaOnly+1e-12) {
+			t.Errorf("%s N=%d: K+α not best: %+v", r.Site, r.N, r)
+		}
+		if r.KOnly > r.Static+1e-12 || r.AlphaOnly > r.Static+1e-12 {
+			t.Errorf("%s N=%d: dynamic worse than static: %+v", r.Site, r.N, r)
+		}
+		// Paper: >10 % relative gain for K+α adaptation.
+		if (r.Static-r.Both)/r.Static < 0.10 {
+			t.Errorf("%s N=%d: K+α gain below 10%%: static %.4f both %.4f",
+				r.Site, r.N, r.Static, r.Both)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	cfg := quick()
+	data, err := Fig2(cfg, "SPMD", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Days) != 6 {
+		t.Fatalf("days = %d", len(data.Days))
+	}
+	if data.PerDay != 288 {
+		t.Errorf("per day = %d (want 5-minute resolution)", data.PerDay)
+	}
+	if len(data.Samples) != 6*288 {
+		t.Errorf("samples = %d", len(data.Samples))
+	}
+	// 1-minute site must be resampled to 5 minutes.
+	data, err = Fig2(cfg, "NPCS", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.PerDay != 288 {
+		t.Errorf("resampled per day = %d", data.PerDay)
+	}
+	if _, err := Fig2(cfg, "SPMD", 1000); err == nil {
+		t.Error("absurd day count accepted")
+	}
+}
+
+func TestGuidelines(t *testing.T) {
+	cfg := quick()
+	gs, err := Guidelines(cfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("guidelines = %d", len(gs))
+	}
+	for _, g := range gs {
+		// The quick space is coarse (it lacks α=0.7), so the guideline
+		// point may beat the searched optimum slightly; the full-grid
+		// penalty is nonnegative by construction. Either way it must be
+		// small for the guidance to be usable.
+		if math.Abs(g.Penalty) > 0.05 {
+			t.Errorf("%s: guideline penalty %.4f too large", g.Site, g.Penalty)
+		}
+		if g.GuidelineMAPE <= 0 || g.OptimumMAPE <= 0 {
+			t.Errorf("%s: degenerate errors", g.Site)
+		}
+	}
+	if _, err := Guidelines(cfg, 24); err != nil {
+		t.Errorf("N=24 guidelines: %v", err)
+	}
+}
+
+func TestGuidelineAlpha(t *testing.T) {
+	if GuidelineAlpha(288) != 0.9 || GuidelineAlpha(96) != 0.7 ||
+		GuidelineAlpha(48) != 0.7 || GuidelineAlpha(24) != 0.6 || GuidelineAlpha(12) != 0.5 {
+		t.Error("guideline alpha mapping")
+	}
+	p := GuidelineParams(48)
+	if p.D != 10 || p.K != 2 {
+		t.Error("guideline params")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	cfg := quick()
+	rows, err := Baselines(cfg, 24, []float64{0.3, 0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Optimised WCMA must beat every baseline on these traces.
+		if r.WCMA >= r.EWMA {
+			t.Errorf("%s: WCMA %.4f should beat EWMA %.4f", r.Site, r.WCMA, r.EWMA)
+		}
+		if r.WCMA >= r.Persistence {
+			t.Errorf("%s: WCMA should beat persistence", r.Site)
+		}
+		if r.WCMA >= r.PreviousDay {
+			t.Errorf("%s: WCMA should beat previous-day", r.Site)
+		}
+		if r.EWMABeta == 0 {
+			t.Errorf("%s: EWMA beta not recorded", r.Site)
+		}
+	}
+	if _, err := Baselines(cfg, 24, nil); err == nil {
+		t.Error("empty betas accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"solarpred/internal/faults"
+)
+
+func TestRobustness(t *testing.T) {
+	cfg := quick()
+	cfg.Sites = []string{"NPCS"}
+	rows, err := Robustness(cfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(faults.Scenarios()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(faults.Scenarios()))
+	}
+	var sawDegradation bool
+	for _, r := range rows {
+		if r.CleanMAPE <= 0 {
+			t.Fatalf("%s/%s: clean MAPE %v", r.Site, r.Scenario.Kind, r.CleanMAPE)
+		}
+		if r.FaultyMAPE <= 0 {
+			t.Fatalf("%s/%s: faulty MAPE %v", r.Site, r.Scenario.Kind, r.FaultyMAPE)
+		}
+		// Faults feeding the predictor bad measurements should never
+		// *improve* accuracy materially.
+		if r.FaultyMAPE < r.CleanMAPE-0.005 {
+			t.Errorf("%s/%s: fault improved MAPE (%.4f -> %.4f)",
+				r.Site, r.Scenario.Kind, r.CleanMAPE, r.FaultyMAPE)
+		}
+		if r.DegradationPoints() > 0.01 {
+			sawDegradation = true
+		}
+		// Graceful degradation: even the worst scenario must not
+		// explode the error by an order of magnitude.
+		if r.FaultyMAPE > r.CleanMAPE*5 {
+			t.Errorf("%s/%s: catastrophic degradation %.4f -> %.4f",
+				r.Site, r.Scenario.Kind, r.CleanMAPE, r.FaultyMAPE)
+		}
+	}
+	if !sawDegradation {
+		t.Error("no scenario degraded accuracy measurably; injectors too weak to test anything")
+	}
+}
+
+func TestRobustnessValidation(t *testing.T) {
+	bad := quick()
+	bad.Sites = nil
+	if _, err := Robustness(bad, 48); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package faults injects realistic sensor and acquisition faults into
+// irradiance traces and measures how the prediction algorithm degrades.
+// The paper evaluates on clean logger data; a deployed node's ADC path
+// is not clean — samples drop (radio/MCU contention), the sensor sticks,
+// spikes couple in, dust attenuates the photodiode. These injectors
+// bound the damage and test the library's robustness story.
+//
+// All injectors are deterministic under a caller-provided seed and
+// operate on a copy of the input series.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarpred/internal/timeseries"
+)
+
+// Kind enumerates the fault models.
+type Kind int
+
+// Fault kinds.
+const (
+	// Dropout replaces samples with a hold of the previous value (what
+	// a node does when the ADC read is skipped): each sample starts a
+	// dropout with probability Rate, lasting MeanLen samples.
+	Dropout Kind = iota
+	// StuckAtZero models a disconnected sensor: the reading is zero for
+	// the fault's duration.
+	StuckAtZero
+	// Spike adds impulse noise: a single sample is multiplied by a
+	// factor in [2, SpikeGain].
+	Spike
+	// GainDrift applies a slow multiplicative degradation (dust on the
+	// panel/photodiode): gain falls linearly from 1 to 1−DriftDepth over
+	// the trace and snaps back (cleaning) every DriftPeriodDays.
+	GainDrift
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Dropout:
+		return "dropout"
+	case StuckAtZero:
+		return "stuck-at-zero"
+	case Spike:
+		return "spike"
+	case GainDrift:
+		return "gain-drift"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterises an injector.
+type Config struct {
+	Kind Kind
+	// Rate is the per-sample probability of starting a fault episode
+	// (Dropout, StuckAtZero, Spike).
+	Rate float64
+	// MeanLen is the mean episode length in samples (Dropout,
+	// StuckAtZero); episodes are geometrically distributed.
+	MeanLen float64
+	// SpikeGain bounds the multiplicative spike factor (Spike).
+	SpikeGain float64
+	// DriftDepth is the maximum relative gain loss (GainDrift).
+	DriftDepth float64
+	// DriftPeriodDays is the cleaning interval (GainDrift).
+	DriftPeriodDays int
+	// Seed drives the injector's randomness.
+	Seed int64
+}
+
+// Validate checks the configuration for its kind.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case Dropout, StuckAtZero:
+		if c.Rate < 0 || c.Rate > 1 {
+			return fmt.Errorf("faults: rate %.4f out of [0,1]", c.Rate)
+		}
+		if c.MeanLen < 1 {
+			return fmt.Errorf("faults: mean episode length %.2f < 1", c.MeanLen)
+		}
+	case Spike:
+		if c.Rate < 0 || c.Rate > 1 {
+			return fmt.Errorf("faults: rate %.4f out of [0,1]", c.Rate)
+		}
+		if c.SpikeGain < 2 {
+			return fmt.Errorf("faults: spike gain %.2f < 2", c.SpikeGain)
+		}
+	case GainDrift:
+		if c.DriftDepth <= 0 || c.DriftDepth >= 1 {
+			return fmt.Errorf("faults: drift depth %.2f out of (0,1)", c.DriftDepth)
+		}
+		if c.DriftPeriodDays < 1 {
+			return fmt.Errorf("faults: drift period %d days < 1", c.DriftPeriodDays)
+		}
+	default:
+		return fmt.Errorf("faults: unknown kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// Report summarises what an injection actually did.
+type Report struct {
+	AffectedSamples int
+	TotalSamples    int
+	Episodes        int
+}
+
+// AffectedFraction returns the fraction of samples touched.
+func (r Report) AffectedFraction() float64 {
+	if r.TotalSamples == 0 {
+		return 0
+	}
+	return float64(r.AffectedSamples) / float64(r.TotalSamples)
+}
+
+// Inject applies the fault model to a copy of the series and returns the
+// corrupted copy plus a report of the damage.
+func Inject(s *timeseries.Series, cfg Config) (*timeseries.Series, Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Report{}, err
+	}
+	if s == nil || len(s.Samples) == 0 {
+		return nil, Report{}, fmt.Errorf("faults: empty series")
+	}
+	out := make([]float64, len(s.Samples))
+	copy(out, s.Samples)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := Report{TotalSamples: len(out)}
+
+	switch cfg.Kind {
+	case Dropout, StuckAtZero:
+		i := 0
+		for i < len(out) {
+			if rng.Float64() >= cfg.Rate {
+				i++
+				continue
+			}
+			rep.Episodes++
+			length := geometricLen(rng, cfg.MeanLen)
+			hold := 0.0
+			if cfg.Kind == Dropout && i > 0 {
+				hold = out[i-1]
+			}
+			for j := 0; j < length && i < len(out); j++ {
+				out[i] = hold
+				rep.AffectedSamples++
+				i++
+			}
+		}
+	case Spike:
+		for i := range out {
+			if rng.Float64() < cfg.Rate && out[i] > 0 {
+				gain := 2 + rng.Float64()*(cfg.SpikeGain-2)
+				out[i] *= gain
+				rep.AffectedSamples++
+				rep.Episodes++
+			}
+		}
+	case GainDrift:
+		perDay := s.SamplesPerDay()
+		period := cfg.DriftPeriodDays * perDay
+		for i := range out {
+			phase := float64(i%period) / float64(period)
+			gain := 1 - cfg.DriftDepth*phase
+			if gain != 1 {
+				rep.AffectedSamples++
+			}
+			out[i] *= gain
+		}
+		rep.Episodes = (len(out) + period - 1) / period
+	}
+
+	series, err := timeseries.New(s.ResolutionMinutes, out)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return series, rep, nil
+}
+
+// geometricLen draws an episode length with the given mean (≥ 1).
+func geometricLen(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Geometric with success probability 1/mean.
+	p := 1 / mean
+	l := 1 + int(math.Floor(math.Log(rng.Float64())/math.Log(1-p)))
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// Scenarios returns a representative set of deployment fault scenarios
+// used by the robustness experiment and tests.
+func Scenarios() []Config {
+	return []Config{
+		{Kind: Dropout, Rate: 0.002, MeanLen: 6, Seed: 101},
+		{Kind: Dropout, Rate: 0.01, MeanLen: 12, Seed: 102},
+		{Kind: StuckAtZero, Rate: 0.001, MeanLen: 10, Seed: 103},
+		{Kind: Spike, Rate: 0.002, SpikeGain: 4, Seed: 104},
+		{Kind: GainDrift, DriftDepth: 0.15, DriftPeriodDays: 30, Seed: 105},
+	}
+}

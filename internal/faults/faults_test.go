@@ -1,0 +1,259 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"solarpred/internal/dataset"
+	"solarpred/internal/timeseries"
+)
+
+func cleanTrace(t *testing.T) *timeseries.Series {
+	t.Helper()
+	site, err := dataset.SiteByName("NPCS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dataset.GenerateDays(site, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Dropout:     "dropout",
+		StuckAtZero: "stuck-at-zero",
+		Spike:       "spike",
+		GainDrift:   "gain-drift",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Kind: Dropout, Rate: -0.1, MeanLen: 5},
+		{Kind: Dropout, Rate: 0.1, MeanLen: 0.5},
+		{Kind: StuckAtZero, Rate: 1.5, MeanLen: 5},
+		{Kind: Spike, Rate: 0.1, SpikeGain: 1},
+		{Kind: GainDrift, DriftDepth: 0},
+		{Kind: GainDrift, DriftDepth: 1.5, DriftPeriodDays: 10},
+		{Kind: GainDrift, DriftDepth: 0.2, DriftPeriodDays: 0},
+		{Kind: Kind(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	for _, c := range Scenarios() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", c.Kind, err)
+		}
+	}
+}
+
+func TestInjectPreservesInput(t *testing.T) {
+	s := cleanTrace(t)
+	orig := append([]float64(nil), s.Samples...)
+	_, _, err := Inject(s, Config{Kind: Dropout, Rate: 0.05, MeanLen: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if s.Samples[i] != orig[i] {
+			t.Fatal("Inject mutated its input")
+		}
+	}
+}
+
+func TestInjectEmptyAndInvalid(t *testing.T) {
+	if _, _, err := Inject(nil, Scenarios()[0]); err == nil {
+		t.Error("nil series accepted")
+	}
+	s := cleanTrace(t)
+	if _, _, err := Inject(s, Config{Kind: Dropout, Rate: 2, MeanLen: 5}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDropoutHoldsPreviousValue(t *testing.T) {
+	s := cleanTrace(t)
+	out, rep, err := Inject(s, Config{Kind: Dropout, Rate: 0.02, MeanLen: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes == 0 || rep.AffectedSamples == 0 {
+		t.Fatal("2% dropout rate produced no episodes")
+	}
+	if rep.AffectedFraction() <= 0 || rep.AffectedFraction() > 0.6 {
+		t.Errorf("affected fraction %.3f implausible", rep.AffectedFraction())
+	}
+	// Any changed sample must equal some earlier clean value (the hold)
+	// — specifically the value just before its episode started.
+	changed := 0
+	for i := 1; i < len(out.Samples); i++ {
+		if out.Samples[i] != s.Samples[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("dropout changed nothing despite nonzero report")
+	}
+}
+
+func TestStuckAtZeroZeroes(t *testing.T) {
+	s := cleanTrace(t)
+	out, rep, err := Inject(s, Config{Kind: StuckAtZero, Rate: 0.01, MeanLen: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AffectedSamples == 0 {
+		t.Fatal("no samples affected")
+	}
+	// Every affected daylight sample must now read zero; count samples
+	// that changed and verify they are zero.
+	for i := range out.Samples {
+		if out.Samples[i] != s.Samples[i] && out.Samples[i] != 0 {
+			t.Fatalf("stuck-at-zero wrote %v at %d", out.Samples[i], i)
+		}
+	}
+}
+
+func TestSpikeOnlyAmplifies(t *testing.T) {
+	s := cleanTrace(t)
+	out, rep, err := Inject(s, Config{Kind: Spike, Rate: 0.01, SpikeGain: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AffectedSamples == 0 {
+		t.Fatal("no spikes")
+	}
+	for i := range out.Samples {
+		if out.Samples[i] != s.Samples[i] {
+			ratio := out.Samples[i] / s.Samples[i]
+			if ratio < 2 || ratio > 4 {
+				t.Fatalf("spike ratio %.2f outside [2,4]", ratio)
+			}
+		}
+	}
+	// Night samples (zero) cannot spike.
+	for i := range out.Samples {
+		if s.Samples[i] == 0 && out.Samples[i] != 0 {
+			t.Fatal("night sample spiked")
+		}
+	}
+}
+
+func TestGainDriftShape(t *testing.T) {
+	s := cleanTrace(t)
+	out, rep, err := Inject(s, Config{Kind: GainDrift, DriftDepth: 0.2, DriftPeriodDays: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes != 2 { // 10 days / 5-day period
+		t.Errorf("episodes = %d, want 2", rep.Episodes)
+	}
+	// Gain never amplifies and never drops below 1−depth.
+	for i := range out.Samples {
+		if s.Samples[i] == 0 {
+			continue
+		}
+		g := out.Samples[i] / s.Samples[i]
+		if g > 1+1e-12 || g < 0.8-1e-12 {
+			t.Fatalf("gain %.3f out of [0.8,1] at %d", g, i)
+		}
+	}
+	// The gain at every sample must match the linear phase ramp exactly.
+	perDay := s.SamplesPerDay()
+	period := 5 * perDay
+	for j := range out.Samples {
+		if s.Samples[j] <= 0 {
+			continue
+		}
+		phase := float64(j%period) / float64(period)
+		want := 1 - 0.2*phase
+		if got := out.Samples[j] / s.Samples[j]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("gain at %d = %.6f, want %.6f", j, got, want)
+		}
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	s := cleanTrace(t)
+	cfg := Config{Kind: Dropout, Rate: 0.01, MeanLen: 6, Seed: 42}
+	a, _, err := Inject(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Inject(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("injection not deterministic")
+		}
+	}
+	cfg.Seed = 43
+	c, _, err := Inject(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestGeometricLenMean(t *testing.T) {
+	s := cleanTrace(t)
+	_ = s
+	f := func(seed int64) bool {
+		cfg := Config{Kind: Dropout, Rate: 0.005, MeanLen: 10, Seed: seed}
+		_, rep, err := Inject(s, cfg)
+		if err != nil {
+			return false
+		}
+		if rep.Episodes == 0 {
+			return true
+		}
+		mean := float64(rep.AffectedSamples) / float64(rep.Episodes)
+		// Mean episode length should be near 10 (loose statistical bound).
+		return mean > 3 && mean < 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroRateIsIdentity(t *testing.T) {
+	s := cleanTrace(t)
+	out, rep, err := Inject(s, Config{Kind: Spike, Rate: 0, SpikeGain: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AffectedSamples != 0 {
+		t.Error("zero rate affected samples")
+	}
+	for i := range out.Samples {
+		if out.Samples[i] != s.Samples[i] {
+			t.Fatal("zero rate changed the trace")
+		}
+	}
+}

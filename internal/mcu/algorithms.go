@@ -1,0 +1,84 @@
+package mcu
+
+import (
+	"fmt"
+
+	"solarpred/internal/core"
+)
+
+// Closed-form operation counts for the baseline predictors, mirroring
+// TypicalPredictionCounter for WCMA. Together they reproduce the theme
+// of Bergonzini et al. [7]: prediction error versus computation
+// requirement across algorithm families. All counts cover the work done
+// per prediction event in steady state (profile updates amortised at the
+// day roll are charged to the sampling event's bookkeeping, as in the
+// WCMA accounting).
+
+// EWMACounter returns the per-prediction operation count of the Kansal
+// EWMA baseline: the forecast is a single table lookup (the per-slot
+// exponential average), plus call overhead. Its per-day maintenance is
+// one multiply-accumulate per slot at the day roll.
+func EWMACounter() Counter {
+	var c Counter
+	c.Calls++
+	c.LoadStores++ // avg[next]
+	return c
+}
+
+// PersistenceCounter returns the per-prediction cost of persistence:
+// return the last sample.
+func PersistenceCounter() Counter {
+	var c Counter
+	c.Calls++
+	c.LoadStores++
+	return c
+}
+
+// SlotARCounter returns the per-prediction operation count of the
+// SlotAR baseline: one profile lookup, the ρ̂ division (from the two
+// running sums), one multiply for ρ̂·x, one for the profile scaling, one
+// add, plus the regression update (two multiply-accumulates) folded into
+// the same wake window.
+func SlotARCounter() Counter {
+	var c Counter
+	c.Calls++
+	c.LoadStores += 3 // profile, lastDev, sums
+	c.Divs++          // rho = sxy/sxx
+	c.Muls += 2       // rho·x, base·(1+…)
+	c.Adds++          // 1 + rho·x
+	// Regression update: sxy, sxx decay-and-accumulate.
+	c.Muls += 4
+	c.Adds += 2
+	c.LoadStores += 2
+	return c
+}
+
+// AlgorithmCost is one row of the cross-algorithm cost comparison.
+type AlgorithmCost struct {
+	Name    string
+	Counter Counter
+	Cycles  int
+	EnergyJ float64
+}
+
+// AlgorithmCosts returns the per-prediction cost of every implemented
+// algorithm under a cost model; WCMA uses the given parameters.
+func AlgorithmCosts(params core.Params, m CostModel) ([]AlgorithmCost, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	rows := []AlgorithmCost{
+		{Name: fmt.Sprintf("WCMA (K=%d)", params.K), Counter: TypicalPredictionCounter(params)},
+		{Name: "SlotAR", Counter: SlotARCounter()},
+		{Name: "EWMA", Counter: EWMACounter()},
+		{Name: "persistence", Counter: PersistenceCounter()},
+	}
+	for i := range rows {
+		rows[i].Cycles = rows[i].Counter.Cycles(m)
+		rows[i].EnergyJ = float64(rows[i].Cycles) * EnergyPerCycleJ
+	}
+	return rows, nil
+}

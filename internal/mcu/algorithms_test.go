@@ -1,0 +1,57 @@
+package mcu
+
+import (
+	"testing"
+
+	"solarpred/internal/core"
+)
+
+func TestAlgorithmCostOrdering(t *testing.T) {
+	params := core.Params{Alpha: 0.7, D: 20, K: 2}
+	rows, err := AlgorithmCosts(params, SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AlgorithmCost{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Cycles <= 0 || r.EnergyJ <= 0 {
+			t.Errorf("%s: degenerate cost", r.Name)
+		}
+	}
+	// Complexity ordering: WCMA > SlotAR > EWMA ≥ persistence.
+	if byName["WCMA (K=2)"].Cycles <= byName["SlotAR"].Cycles {
+		t.Error("WCMA should cost more than SlotAR")
+	}
+	if byName["SlotAR"].Cycles <= byName["EWMA"].Cycles {
+		t.Error("SlotAR should cost more than EWMA")
+	}
+	if byName["EWMA"].Cycles < byName["persistence"].Cycles {
+		t.Error("EWMA should not be cheaper than persistence")
+	}
+}
+
+func TestAlgorithmCostValidation(t *testing.T) {
+	bad := SoftFloat
+	bad.Add = 0
+	if _, err := AlgorithmCosts(core.Params{Alpha: 0.5, D: 5, K: 1}, bad); err == nil {
+		t.Error("bad model accepted")
+	}
+	if _, err := AlgorithmCosts(core.Params{Alpha: 5, D: 5, K: 1}, SoftFloat); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestBaselineCountersConsistent(t *testing.T) {
+	// Per-prediction baseline costs must be tiny compared to WCMA: the
+	// whole point of the paper's trade-off discussion.
+	w := TypicalPredictionCounter(core.Params{Alpha: 0.7, D: 20, K: 1}).Cycles(SoftFloat)
+	for _, c := range []Counter{EWMACounter(), PersistenceCounter()} {
+		if c.Cycles(SoftFloat) > w/2 {
+			t.Error("baseline lookup should be far cheaper than WCMA")
+		}
+	}
+}

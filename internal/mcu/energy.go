@@ -1,0 +1,195 @@
+package mcu
+
+import (
+	"fmt"
+
+	"solarpred/internal/core"
+)
+
+// Electrical constants of the measurement platform (MSP430F1611,
+// 3 V, 5 MHz; paper Section IV-A and Table IV).
+const (
+	// SupplyVolts is the board supply voltage.
+	SupplyVolts = 3.0
+	// ClockHz is the CPU clock.
+	ClockHz = 5e6
+	// ActiveCurrentA is the active-mode supply current at 3 V / 5 MHz
+	// (datasheet ~0.4 mA/MHz).
+	ActiveCurrentA = 2.0e-3
+	// SleepCurrentA is the LPM3 deep-sleep current with the wake-up
+	// timer running (paper: 1.4 µA @ 3 V).
+	SleepCurrentA = 1.4e-6
+
+	// VrefSettleSeconds is the reference-voltage settling wait
+	// (paper Fig. 5: 45 ms, spent in sleep with the reference on).
+	VrefSettleSeconds = 45e-3
+	// VrefCurrentA is the supply current with the internal reference
+	// enabled during settling.
+	VrefCurrentA = 0.40e-3
+	// ADCConversionSeconds is the ADC12 sample+convert time.
+	ADCConversionSeconds = 160e-6
+	// ADCCurrentA is the ADC12 block current during conversion, on top
+	// of the active core.
+	ADCCurrentA = 0.80e-3
+)
+
+// ActivePowerW is the CPU active power.
+const ActivePowerW = SupplyVolts * ActiveCurrentA
+
+// EnergyPerCycleJ is the energy of one CPU cycle in active mode.
+const EnergyPerCycleJ = ActivePowerW / ClockHz
+
+// SecondsPerDay is the number of seconds in the 24-hour cycle.
+const SecondsPerDay = 24 * 60 * 60
+
+// ADCSampleEnergyJ returns the energy of one complete power-sampling
+// sequence (Vref settle in sleep-with-reference, then conversion with
+// the core awake), the paper's "A/D conversion" activity measured at
+// 55 µJ per cycle.
+func ADCSampleEnergyJ() float64 {
+	settle := SupplyVolts * VrefCurrentA * VrefSettleSeconds
+	convert := (ActivePowerW + SupplyVolts*ADCCurrentA) * ADCConversionSeconds
+	return settle + convert
+}
+
+// PredictionEnergyJ returns the energy of one prediction-algorithm
+// execution for the given parameters under a cost model.
+func PredictionEnergyJ(params core.Params, m CostModel) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := params.Validate(); err != nil {
+		return 0, err
+	}
+	cycles := TypicalPredictionCounter(params).Cycles(m)
+	return float64(cycles) * EnergyPerCycleJ, nil
+}
+
+// SleepEnergyPerDayJ returns the energy spent in LPM3 over a full day
+// minus the given awake seconds. The paper reports 356 mJ/day; the
+// 1.4 µA datasheet figure gives 363 mJ — the 2 % gap is the paper's
+// measured-versus-nominal current.
+func SleepEnergyPerDayJ(awakeSeconds float64) float64 {
+	s := SecondsPerDay - awakeSeconds
+	if s < 0 {
+		s = 0
+	}
+	return SupplyVolts * SleepCurrentA * s
+}
+
+// Budget is the per-day energy budget of the sampling-plus-prediction
+// activity at a sampling rate N (one row of the paper's Table IV lower
+// half, and one bar of Fig. 6).
+type Budget struct {
+	N int
+	// PerSampleJ is the energy of one A/D sampling sequence.
+	PerSampleJ float64
+	// PerPredictionJ is the energy of one prediction execution.
+	PerPredictionJ float64
+	// SamplingPerDayJ and PredictionPerDayJ are the daily totals.
+	SamplingPerDayJ   float64
+	PredictionPerDayJ float64
+	// SleepPerDayJ is the deep-sleep floor for the remainder of the day.
+	SleepPerDayJ float64
+	// OverheadFraction is (sampling+prediction)/sleep — the paper's
+	// Fig. 6 percentage.
+	OverheadFraction float64
+}
+
+// TotalActivityPerDayJ returns sampling plus prediction energy per day.
+func (b Budget) TotalActivityPerDayJ() float64 {
+	return b.SamplingPerDayJ + b.PredictionPerDayJ
+}
+
+// DayBudget computes the daily budget for sampling rate n and prediction
+// parameters under a cost model.
+func DayBudget(n int, params core.Params, m CostModel) (Budget, error) {
+	if n < 1 || n > 24*60 {
+		return Budget{}, fmt.Errorf("mcu: samples per day %d out of range", n)
+	}
+	pe, err := PredictionEnergyJ(params, m)
+	if err != nil {
+		return Budget{}, err
+	}
+	b := Budget{
+		N:              n,
+		PerSampleJ:     ADCSampleEnergyJ(),
+		PerPredictionJ: pe,
+	}
+	b.SamplingPerDayJ = float64(n) * b.PerSampleJ
+	b.PredictionPerDayJ = float64(n) * b.PerPredictionJ
+	cycles := TypicalPredictionCounter(params).Cycles(m)
+	awakePerEvent := VrefSettleSeconds + ADCConversionSeconds + float64(cycles)/ClockHz
+	b.SleepPerDayJ = SleepEnergyPerDayJ(float64(n) * awakePerEvent)
+	if b.SleepPerDayJ > 0 {
+		b.OverheadFraction = b.TotalActivityPerDayJ() / b.SleepPerDayJ
+	}
+	return b, nil
+}
+
+// TableIVRow is one activity row of the paper's Table IV.
+type TableIVRow struct {
+	Activity string
+	EnergyJ  float64
+	PerDay   bool // true when the figure is a per-day total
+}
+
+// TableIV reproduces the paper's Table IV under the given cost model:
+// the A/D conversion energy, A/D+prediction at the paper's three
+// parameter points (K=1 α=0.7, K=7 α=0.7, K=7 α=0.0, all at D=20),
+// the sleep-mode daily energy, and the two per-day totals at N=48.
+func TableIV(m CostModel) ([]TableIVRow, error) {
+	adc := ADCSampleEnergyJ()
+	rows := []TableIVRow{{Activity: "A/D conversion", EnergyJ: adc}}
+	type point struct {
+		k     int
+		alpha float64
+	}
+	for _, p := range []point{{1, 0.7}, {7, 0.7}, {7, 0.0}} {
+		pe, err := PredictionEnergyJ(core.Params{Alpha: p.alpha, D: 20, K: p.k}, m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIVRow{
+			Activity: fmt.Sprintf("A/D conversion + Prediction (K=%d, alpha=%.1f)", p.k, p.alpha),
+			EnergyJ:  adc + pe,
+		})
+	}
+	rows = append(rows, TableIVRow{
+		Activity: "Low power (sleep) mode 1.4uA@3V",
+		EnergyJ:  SleepEnergyPerDayJ(0),
+		PerDay:   true,
+	})
+	rows = append(rows, TableIVRow{
+		Activity: "A/D conversion 48 samples per day",
+		EnergyJ:  48 * adc,
+		PerDay:   true,
+	})
+	pe, err := PredictionEnergyJ(core.Params{Alpha: 0.7, D: 20, K: 2}, m)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, TableIVRow{
+		Activity: "A/D conversion + prediction 48 times per day",
+		EnergyJ:  48 * (adc + pe),
+		PerDay:   true,
+	})
+	return rows, nil
+}
+
+// Fig6 returns the prediction-activity overhead percentages (as
+// fractions) for the paper's five sampling rates, using a typical
+// prediction configuration under the cost model.
+func Fig6(m CostModel) (ns []int, fractions []float64, err error) {
+	ns = []int{288, 96, 72, 48, 24}
+	fractions = make([]float64, len(ns))
+	params := core.Params{Alpha: 0.7, D: 20, K: 2}
+	for i, n := range ns {
+		b, err := DayBudget(n, params, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		fractions[i] = b.OverheadFraction
+	}
+	return ns, fractions, nil
+}

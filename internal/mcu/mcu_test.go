@@ -1,0 +1,414 @@
+package mcu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"solarpred/internal/core"
+)
+
+func TestCostModelsValid(t *testing.T) {
+	for _, m := range []CostModel{SoftFloat, FixedQ16} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+	}
+	bad := SoftFloat
+	bad.Div = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-cost division accepted")
+	}
+}
+
+func TestCounterCycles(t *testing.T) {
+	c := Counter{Adds: 2, Subs: 1, Muls: 3, Divs: 1, Cmps: 4, LoadStores: 5, Calls: 1}
+	m := CostModel{Name: "unit", Add: 1, Sub: 10, Mul: 100, Div: 1000, Cmp: 10000, LoadStore: 100000, CallOverhead: 1000000}
+	want := 2 + 10 + 300 + 1000 + 40000 + 500000 + 1000000
+	if got := c.Cycles(m); got != want {
+		t.Errorf("Cycles = %d, want %d", got, want)
+	}
+	var sum Counter
+	sum.AddCounter(c)
+	sum.AddCounter(c)
+	if sum.Cycles(m) != 2*want {
+		t.Error("AddCounter")
+	}
+	sum.Reset()
+	if sum.Cycles(m) != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	if _, err := NewKernel(1, core.Params{Alpha: 0.5, D: 2, K: 1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewKernel(24, core.Params{Alpha: 2, D: 2, K: 1}); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	if _, err := NewKernel(24, core.Params{Alpha: 0.5, D: 2, K: 30}); err == nil {
+		t.Error("K>N accepted")
+	}
+	k, err := NewKernel(24, core.Params{Alpha: 0.5, D: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.N() != 24 || k.Params().D != 2 {
+		t.Error("accessors")
+	}
+	if err := k.Observe(5, 10); err == nil {
+		t.Error("out-of-order accepted")
+	}
+	if err := k.Observe(0, -1); err == nil {
+		t.Error("negative power accepted")
+	}
+	if err := k.Observe(0, 40000); err == nil {
+		t.Error("out-of-range power accepted")
+	}
+	if _, err := k.Predict(); err == nil {
+		t.Error("Predict before Observe accepted")
+	}
+}
+
+// TestKernelMatchesFloatPredictor cross-validates the Q16.16 kernel
+// against the float64 reference on realistic magnitudes. The tolerance
+// accounts for Q16.16 resolution through the ratio chain.
+func TestKernelMatchesFloatPredictor(t *testing.T) {
+	params := core.Params{Alpha: 0.7, D: 5, K: 3}
+	const n = 12
+	kern, err := NewKernel(n, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.New(n, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var maxRel float64
+	for d := 0; d < 8; d++ {
+		for j := 0; j < n; j++ {
+			// Diurnal-ish profile up to ~1000 with noise.
+			base := 1000 * math.Sin(math.Pi*float64(j)/float64(n))
+			if base < 0 {
+				base = 0
+			}
+			v := base * (0.7 + 0.6*rng.Float64())
+			if err := kern.Observe(j, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Observe(j, v); err != nil {
+				t.Fatal(err)
+			}
+			pq, err := kern.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf, err := ref.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := math.Abs(pq - pf)
+			rel := diff / (1 + pf)
+			if rel > maxRel {
+				maxRel = rel
+			}
+			if rel > 0.02 {
+				t.Fatalf("day %d slot %d: fixed %v vs float %v", d, j, pq, pf)
+			}
+		}
+	}
+	t.Logf("max relative deviation: %.5f", maxRel)
+}
+
+func TestKernelAlphaEndpoints(t *testing.T) {
+	// α=1 must return the current sample exactly (no arithmetic error).
+	k, _ := NewKernel(4, core.Params{Alpha: 1, D: 2, K: 1})
+	for j, v := range []float64{100, 200} {
+		if err := k.Observe(j, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := k.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 200 {
+		t.Errorf("alpha=1 kernel predict = %v, want 200", p)
+	}
+}
+
+func TestTypicalCounterMatchesLiveKernel(t *testing.T) {
+	// A steady-state daytime prediction must charge exactly the ops the
+	// closed form claims.
+	for _, params := range []core.Params{
+		{Alpha: 0.7, D: 4, K: 1},
+		{Alpha: 0.7, D: 4, K: 3},
+		{Alpha: 0.0, D: 4, K: 2},
+		{Alpha: 1.0, D: 4, K: 2},
+	} {
+		k, err := NewKernel(6, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		day := []float64{400, 500, 600, 650, 550, 450} // all daylight
+		for d := 0; d < 5; d++ {
+			for j, v := range day {
+				if err := k.Observe(j, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Mid-day prediction with full history and all-positive window.
+		for j := 0; j < 4; j++ {
+			if err := k.Observe(j, day[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := k.Predict(); err != nil {
+			t.Fatal(err)
+		}
+		got := k.PredictOps()
+		want := TypicalPredictionCounter(params)
+		if got != want {
+			t.Errorf("%+v: live ops %+v != closed form %+v", params, got, want)
+		}
+	}
+}
+
+func TestPredictionCostGrowsWithK(t *testing.T) {
+	prev := 0
+	for k := 1; k <= 7; k++ {
+		c := TypicalPredictionCounter(core.Params{Alpha: 0.7, D: 20, K: k}).Cycles(SoftFloat)
+		if c <= prev {
+			t.Fatalf("cycles not increasing at K=%d: %d <= %d", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestAlphaZeroCheaperThanMid(t *testing.T) {
+	mid := TypicalPredictionCounter(core.Params{Alpha: 0.7, D: 20, K: 7}).Cycles(SoftFloat)
+	zero := TypicalPredictionCounter(core.Params{Alpha: 0.0, D: 20, K: 7}).Cycles(SoftFloat)
+	if zero >= mid {
+		t.Errorf("alpha=0 (%d cy) should be cheaper than alpha=0.7 (%d cy)", zero, mid)
+	}
+}
+
+func TestFixedPointCheaperThanSoftFloat(t *testing.T) {
+	p := core.Params{Alpha: 0.7, D: 20, K: 2}
+	c := TypicalPredictionCounter(p)
+	if c.Cycles(FixedQ16) >= c.Cycles(SoftFloat) {
+		t.Error("fixed-point port should be cheaper than soft float")
+	}
+}
+
+func TestADCSampleEnergyNearPaper(t *testing.T) {
+	// The paper measures 55 µJ per A/D sampling sequence; the decomposed
+	// model must land within 10 %.
+	e := ADCSampleEnergyJ()
+	if e < 50e-6 || e > 60e-6 {
+		t.Errorf("ADC sample energy = %.1f µJ, want ≈55 µJ", e*1e6)
+	}
+}
+
+func TestPredictionEnergyNearPaper(t *testing.T) {
+	// Paper Table IV: prediction adds 3.6 µJ (K=1) to 8.4 µJ (K=7) on
+	// top of the A/D energy. The soft-float model must land in that
+	// order of magnitude (2–15 µJ) with the right ordering.
+	e1, err := PredictionEnergyJ(core.Params{Alpha: 0.7, D: 20, K: 1}, SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e7, err := PredictionEnergyJ(core.Params{Alpha: 0.7, D: 20, K: 7}, SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e70, err := PredictionEnergyJ(core.Params{Alpha: 0.0, D: 20, K: 7}, SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 < 1e-6 || e1 > 8e-6 {
+		t.Errorf("K=1 prediction = %.2f µJ, want low single-digit µJ", e1*1e6)
+	}
+	if e7 < e1 {
+		t.Error("K=7 must cost more than K=1")
+	}
+	if e7 > 20e-6 {
+		t.Errorf("K=7 prediction = %.2f µJ, implausibly high", e7*1e6)
+	}
+	if e70 >= e7 {
+		t.Error("alpha=0 must be cheaper at equal K")
+	}
+}
+
+func TestSleepEnergyPerDay(t *testing.T) {
+	full := SleepEnergyPerDayJ(0)
+	if full < 0.34 || full > 0.38 {
+		t.Errorf("sleep/day = %.1f mJ, want ≈363 mJ", full*1e3)
+	}
+	if SleepEnergyPerDayJ(3600) >= full {
+		t.Error("awake time must reduce sleep energy")
+	}
+	if SleepEnergyPerDayJ(2*SecondsPerDay) != 0 {
+		t.Error("over-awake clamps to zero")
+	}
+}
+
+func TestDayBudgetAndFig6Shape(t *testing.T) {
+	params := core.Params{Alpha: 0.7, D: 20, K: 2}
+	b48, err := DayBudget(48, params, SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 2.88 mJ activity at N=48, ≈0.8 % of sleep.
+	if act := b48.TotalActivityPerDayJ(); act < 2.2e-3 || act > 3.6e-3 {
+		t.Errorf("N=48 activity = %.2f mJ, want ≈2.9 mJ", act*1e3)
+	}
+	if b48.OverheadFraction < 0.005 || b48.OverheadFraction > 0.012 {
+		t.Errorf("N=48 overhead = %.2f%%, want ≈0.8%%", b48.OverheadFraction*100)
+	}
+	ns, fr, err := Fig6(SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 5 || ns[0] != 288 || ns[4] != 24 {
+		t.Fatalf("Fig6 ns = %v", ns)
+	}
+	// Monotone decreasing overhead with decreasing N.
+	for i := 1; i < len(fr); i++ {
+		if fr[i] >= fr[i-1] {
+			t.Fatalf("overhead not decreasing: %v", fr)
+		}
+	}
+	// Paper anchors: 4.85 % at N=288, 0.40 % at N=24 (±25 %).
+	if fr[0] < 0.036 || fr[0] > 0.061 {
+		t.Errorf("N=288 overhead = %.2f%%, want ≈4.85%%", fr[0]*100)
+	}
+	if fr[4] < 0.003 || fr[4] > 0.0055 {
+		t.Errorf("N=24 overhead = %.2f%%, want ≈0.40%%", fr[4]*100)
+	}
+	if _, err := DayBudget(0, params, SoftFloat); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := DayBudget(100000, params, SoftFloat); err == nil {
+		t.Error("absurd N accepted")
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	rows, err := TableIV(SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("TableIV rows = %d", len(rows))
+	}
+	adc := rows[0].EnergyJ
+	if rows[1].EnergyJ <= adc || rows[2].EnergyJ <= rows[1].EnergyJ {
+		t.Error("prediction rows must increase with K")
+	}
+	if rows[3].EnergyJ >= rows[2].EnergyJ {
+		t.Error("alpha=0 row must be below alpha=0.7 at K=7")
+	}
+	if !rows[4].PerDay || !rows[5].PerDay || !rows[6].PerDay {
+		t.Error("daily rows must be flagged PerDay")
+	}
+	if rows[5].EnergyJ != 48*adc {
+		t.Error("daily sampling row must be 48×ADC")
+	}
+	if rows[6].EnergyJ <= 48*adc {
+		t.Error("sampling+prediction daily total must exceed sampling-only")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	names := map[Phase]string{
+		PhaseDeepSleep:  "deep-sleep",
+		PhaseVrefSettle: "vref-settle",
+		PhaseADCConvert: "adc-convert",
+		PhasePredict:    "predict",
+	}
+	for p, s := range names {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase")
+	}
+}
+
+func TestSimulateTimeline(t *testing.T) {
+	params := core.Params{Alpha: 0.7, D: 20, K: 2}
+	tl, err := Simulate(48, params, SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Events) != 4*48 {
+		t.Fatalf("events = %d", len(tl.Events))
+	}
+	// Timeline covers exactly one day.
+	if math.Abs(tl.TotalDurationS()-SecondsPerDay) > 1e-6 {
+		t.Errorf("duration = %v s", tl.TotalDurationS())
+	}
+	// Events are contiguous and ordered.
+	for i := 1; i < len(tl.Events); i++ {
+		prev := tl.Events[i-1]
+		if math.Abs(tl.Events[i].StartS-(prev.StartS+prev.Duration)) > 1e-9 {
+			t.Fatalf("gap at event %d", i)
+		}
+	}
+	// Phases cycle sleep→vref→adc→predict.
+	for i, e := range tl.Events {
+		want := Phase(i % 4)
+		if e.Phase != want {
+			t.Fatalf("event %d phase %v, want %v", i, e.Phase, want)
+		}
+	}
+	b, err := DayBudget(48, params, SoftFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.CheckAgainstBudget(b, 1e-9); err != nil {
+		t.Errorf("timeline diverges from budget: %v", err)
+	}
+	if tl.TotalEnergyJ() <= 0 {
+		t.Error("total energy must be positive")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	params := core.Params{Alpha: 0.7, D: 20, K: 2}
+	if _, err := Simulate(0, params, SoftFloat); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad := SoftFloat
+	bad.Mul = 0
+	if _, err := Simulate(48, params, bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := Simulate(48, core.Params{Alpha: 2, D: 1, K: 1}, SoftFloat); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestEnergyByPhaseSums(t *testing.T) {
+	params := core.Params{Alpha: 0.7, D: 20, K: 1}
+	tl, err := Simulate(24, params, FixedQ16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := tl.EnergyByPhase()
+	var sum float64
+	for _, v := range by {
+		sum += v
+	}
+	if math.Abs(sum-tl.TotalEnergyJ()) > 1e-12 {
+		t.Error("per-phase energies do not sum to total")
+	}
+	if by[PhaseDeepSleep] <= by[PhasePredict] {
+		t.Error("sleep must dominate the day's energy at N=24")
+	}
+}

@@ -1,0 +1,113 @@
+package mcu
+
+import (
+	"fmt"
+
+	"solarpred/internal/core"
+)
+
+// RAM sizing of the prediction algorithm's state on the node. The paper
+// notes that N and D "determine … memory requirement for storing
+// historical power samples" but does not quantify it; this model does,
+// against the MSP430F1611's 10 KB SRAM.
+const (
+	// F1611RAMBytes is the MSP430F1611 SRAM size.
+	F1611RAMBytes = 10 * 1024
+	// SampleBytes is the storage per raw power sample (12-bit ADC code
+	// held in a 16-bit word).
+	SampleBytes = 2
+	// AccumBytes is the storage per Q16.16 accumulator (running sums,
+	// μD table entries).
+	AccumBytes = 4
+	// SystemReserveBytes is RAM withheld for the stack, the radio/OS
+	// buffers and the C runtime; the predictor must fit in what is left.
+	SystemReserveBytes = 2 * 1024
+)
+
+// MemoryFootprint is the predictor's RAM budget breakdown for one
+// configuration.
+type MemoryFootprint struct {
+	N, D int
+	// HistoryBytes is the D×N sample matrix.
+	HistoryBytes int
+	// DayBuffersBytes covers the current-day and previous-day vectors.
+	DayBuffersBytes int
+	// TablesBytes covers the per-slot running sums and μD table.
+	TablesBytes int
+	// ScratchBytes covers θ weights, loop state and the Eq. 1 temporaries.
+	ScratchBytes int
+}
+
+// TotalBytes returns the total predictor RAM.
+func (m MemoryFootprint) TotalBytes() int {
+	return m.HistoryBytes + m.DayBuffersBytes + m.TablesBytes + m.ScratchBytes
+}
+
+// FitsF1611 reports whether the configuration fits the F1611's SRAM
+// after the system reserve.
+func (m MemoryFootprint) FitsF1611() bool {
+	return m.TotalBytes() <= F1611RAMBytes-SystemReserveBytes
+}
+
+// Memory computes the RAM footprint of the kernel's data structures for
+// a sampling rate and parameter set.
+func Memory(n int, params core.Params) (MemoryFootprint, error) {
+	if n < 2 {
+		return MemoryFootprint{}, fmt.Errorf("mcu: need at least 2 slots per day, got %d", n)
+	}
+	if err := params.Validate(); err != nil {
+		return MemoryFootprint{}, err
+	}
+	m := MemoryFootprint{N: n, D: params.D}
+	m.HistoryBytes = params.D * n * SampleBytes
+	m.DayBuffersBytes = 2 * n * SampleBytes
+	m.TablesBytes = 2 * n * AccumBytes // running sums + μD table
+	m.ScratchBytes = params.K*AccumBytes + 64
+	return m, nil
+}
+
+// MaxDForRAM returns the largest history depth D that fits the F1611 at
+// sampling rate n (zero when even D=1 does not fit).
+func MaxDForRAM(n int) int {
+	lo, hi := 0, 4096
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		m, err := Memory(n, core.Params{Alpha: 0.5, D: mid, K: 1})
+		if err != nil || !m.FitsF1611() {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// MemoryTableRow is one row of the N-versus-memory design table.
+type MemoryTableRow struct {
+	N           int
+	D           int
+	TotalBytes  int
+	Fits        bool
+	MaxDAtThisN int
+}
+
+// MemoryTable evaluates the footprint of a parameter point across the
+// paper's sampling rates and reports the feasible D range at each.
+func MemoryTable(params core.Params) ([]MemoryTableRow, error) {
+	ns := []int{288, 96, 72, 48, 24}
+	rows := make([]MemoryTableRow, 0, len(ns))
+	for _, n := range ns {
+		m, err := Memory(n, params)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MemoryTableRow{
+			N:           n,
+			D:           params.D,
+			TotalBytes:  m.TotalBytes(),
+			Fits:        m.FitsF1611(),
+			MaxDAtThisN: MaxDForRAM(n),
+		})
+	}
+	return rows, nil
+}

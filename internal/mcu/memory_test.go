@@ -1,0 +1,98 @@
+package mcu
+
+import (
+	"testing"
+
+	"solarpred/internal/core"
+)
+
+func TestMemoryFootprint(t *testing.T) {
+	m, err := Memory(48, core.Params{Alpha: 0.7, D: 20, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// History: 20×48×2 = 1920 B.
+	if m.HistoryBytes != 1920 {
+		t.Errorf("history = %d", m.HistoryBytes)
+	}
+	// Day buffers: 2×48×2 = 192 B; tables: 2×48×4 = 384 B.
+	if m.DayBuffersBytes != 192 || m.TablesBytes != 384 {
+		t.Errorf("buffers %d tables %d", m.DayBuffersBytes, m.TablesBytes)
+	}
+	if m.TotalBytes() != m.HistoryBytes+m.DayBuffersBytes+m.TablesBytes+m.ScratchBytes {
+		t.Error("total mismatch")
+	}
+	if !m.FitsF1611() {
+		t.Error("the paper's N=48 D=20 configuration must fit the F1611")
+	}
+}
+
+func TestMemoryValidation(t *testing.T) {
+	if _, err := Memory(1, core.Params{Alpha: 0.5, D: 2, K: 1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Memory(48, core.Params{Alpha: 2, D: 2, K: 1}); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestMemoryGrowsWithNAndD(t *testing.T) {
+	base, _ := Memory(48, core.Params{Alpha: 0.5, D: 10, K: 2})
+	moreD, _ := Memory(48, core.Params{Alpha: 0.5, D: 20, K: 2})
+	moreN, _ := Memory(96, core.Params{Alpha: 0.5, D: 10, K: 2})
+	if moreD.TotalBytes() <= base.TotalBytes() {
+		t.Error("doubling D must grow memory")
+	}
+	if moreN.TotalBytes() <= base.TotalBytes() {
+		t.Error("doubling N must grow memory")
+	}
+}
+
+func TestMaxDForRAM(t *testing.T) {
+	// At N=288 the history dominates: each extra D costs 576 B, so the
+	// budget (8 KB after reserve, minus ~2.9 KB of N-proportional
+	// buffers) supports only single-digit D.
+	d288 := MaxDForRAM(288)
+	d48 := MaxDForRAM(48)
+	d24 := MaxDForRAM(24)
+	if !(d24 > d48 && d48 > d288) {
+		t.Errorf("max D not decreasing with N: %d %d %d", d24, d48, d288)
+	}
+	if d288 < 1 || d288 > 12 {
+		t.Errorf("max D at N=288 = %d, expected single digits", d288)
+	}
+	// The paper's exhaustive D=20 must be feasible at N=48.
+	if d48 < 20 {
+		t.Errorf("max D at N=48 = %d, want >= 20", d48)
+	}
+	// Boundary consistency: the reported max fits, max+1 does not.
+	m, err := Memory(288, core.Params{Alpha: 0.5, D: d288, K: 1})
+	if err != nil || !m.FitsF1611() {
+		t.Error("reported max D does not fit")
+	}
+	m, err = Memory(288, core.Params{Alpha: 0.5, D: d288 + 1, K: 1})
+	if err != nil || m.FitsF1611() {
+		t.Error("max D + 1 unexpectedly fits")
+	}
+}
+
+func TestMemoryTable(t *testing.T) {
+	rows, err := MemoryTable(core.Params{Alpha: 0.7, D: 10, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].N != 288 || rows[4].N != 24 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.MaxDAtThisN < 1 {
+			t.Errorf("N=%d: no feasible D at all", r.N)
+		}
+		if r.D <= r.MaxDAtThisN && !r.Fits {
+			t.Errorf("N=%d: D=%d within max %d but reported not fitting", r.N, r.D, r.MaxDAtThisN)
+		}
+	}
+	if _, err := MemoryTable(core.Params{Alpha: 5, D: 1, K: 1}); err == nil {
+		t.Error("bad params accepted")
+	}
+}

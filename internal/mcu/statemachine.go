@@ -1,0 +1,147 @@
+package mcu
+
+import (
+	"fmt"
+
+	"solarpred/internal/core"
+)
+
+// Phase is one state of the paper's Fig. 5 sampling-and-prediction
+// sequence.
+type Phase int
+
+// The Fig. 5 phases in execution order.
+const (
+	PhaseDeepSleep Phase = iota
+	PhaseVrefSettle
+	PhaseADCConvert
+	PhasePredict
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseDeepSleep:
+		return "deep-sleep"
+	case PhaseVrefSettle:
+		return "vref-settle"
+	case PhaseADCConvert:
+		return "adc-convert"
+	case PhasePredict:
+		return "predict"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Event is one phase execution in the simulated timeline.
+type Event struct {
+	Phase    Phase
+	StartS   float64 // seconds since midnight
+	Duration float64 // seconds
+	EnergyJ  float64
+}
+
+// Timeline is one simulated day of the Fig. 5 state machine.
+type Timeline struct {
+	N      int
+	Events []Event
+}
+
+// Simulate runs the Fig. 5 state machine for one day at sampling rate n:
+// the MCU sleeps in LPM3, wakes N times per day on the timer, enables
+// the reference and settles (in sleep), converts, runs the prediction,
+// and returns to deep sleep. The prediction cycle count comes from the
+// cost model at the given parameters.
+func Simulate(n int, params core.Params, m CostModel) (*Timeline, error) {
+	if n < 1 || n > 24*60 {
+		return nil, fmt.Errorf("mcu: samples per day %d out of range", n)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	cycles := TypicalPredictionCounter(params).Cycles(m)
+	predictS := float64(cycles) / ClockHz
+	predictJ := float64(cycles) * EnergyPerCycleJ
+	settleJ := SupplyVolts * VrefCurrentA * VrefSettleSeconds
+	convertJ := (ActivePowerW + SupplyVolts*ADCCurrentA) * ADCConversionSeconds
+
+	period := float64(SecondsPerDay) / float64(n)
+	awake := VrefSettleSeconds + ADCConversionSeconds + predictS
+	if awake >= period {
+		return nil, fmt.Errorf("mcu: activity (%.3fs) does not fit the %.3fs sampling period", awake, period)
+	}
+	sleepJPerS := SupplyVolts * SleepCurrentA
+
+	tl := &Timeline{N: n, Events: make([]Event, 0, 4*n)}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		sleepDur := period - awake
+		tl.Events = append(tl.Events,
+			Event{Phase: PhaseDeepSleep, StartS: t, Duration: sleepDur, EnergyJ: sleepJPerS * sleepDur},
+			Event{Phase: PhaseVrefSettle, StartS: t + sleepDur, Duration: VrefSettleSeconds, EnergyJ: settleJ},
+			Event{Phase: PhaseADCConvert, StartS: t + sleepDur + VrefSettleSeconds, Duration: ADCConversionSeconds, EnergyJ: convertJ},
+			Event{Phase: PhasePredict, StartS: t + sleepDur + VrefSettleSeconds + ADCConversionSeconds, Duration: predictS, EnergyJ: predictJ},
+		)
+		t += period
+	}
+	return tl, nil
+}
+
+// EnergyByPhase sums event energy per phase.
+func (tl *Timeline) EnergyByPhase() map[Phase]float64 {
+	out := make(map[Phase]float64, 4)
+	for _, e := range tl.Events {
+		out[e.Phase] += e.EnergyJ
+	}
+	return out
+}
+
+// TotalEnergyJ is the full-day energy of the timeline.
+func (tl *Timeline) TotalEnergyJ() float64 {
+	var sum float64
+	for _, e := range tl.Events {
+		sum += e.EnergyJ
+	}
+	return sum
+}
+
+// TotalDurationS is the covered time span; one full day by construction.
+func (tl *Timeline) TotalDurationS() float64 {
+	var sum float64
+	for _, e := range tl.Events {
+		sum += e.Duration
+	}
+	return sum
+}
+
+// CheckAgainstBudget verifies the timeline's per-phase totals agree with
+// the closed-form DayBudget within tol (relative). It ties the Fig. 5
+// simulation to the Table IV arithmetic.
+func (tl *Timeline) CheckAgainstBudget(b Budget, tol float64) error {
+	by := tl.EnergyByPhase()
+	sampling := by[PhaseVrefSettle] + by[PhaseADCConvert]
+	relErr := func(a, b float64) float64 {
+		if b == 0 {
+			return a
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d / b
+	}
+	if relErr(sampling, b.SamplingPerDayJ) > tol {
+		return fmt.Errorf("mcu: timeline sampling energy diverges from budget")
+	}
+	if relErr(by[PhasePredict], b.PredictionPerDayJ) > tol {
+		return fmt.Errorf("mcu: timeline prediction energy diverges from budget")
+	}
+	if relErr(by[PhaseDeepSleep], b.SleepPerDayJ) > tol {
+		return fmt.Errorf("mcu: timeline sleep energy diverges from budget")
+	}
+	return nil
+}

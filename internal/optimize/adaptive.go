@@ -1,0 +1,106 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"solarpred/internal/adaptive"
+	"solarpred/internal/core"
+	"solarpred/internal/metrics"
+)
+
+// AdaptiveResult scores one realizable selection policy on a trace.
+type AdaptiveResult struct {
+	Policy string
+	Report metrics.Report
+	// SwitchCount is how many times the policy changed its candidate —
+	// a proxy for actuation churn on a real node.
+	SwitchCount int
+	// FinalCandidate is the arm in use at the end of the run.
+	FinalCandidate adaptive.Candidate
+}
+
+// AdaptiveEval runs a realizable dynamic-parameter policy over the trace
+// at history depth d: at every scored slot the policy picks a candidate
+// (α, K) BEFORE the truth arrives, the prediction is scored like every
+// other evaluator path, and afterwards the policy observes the loss all
+// candidates would have suffered (full-information feedback — Eq. 1 is
+// cheap to evaluate for the whole grid once its terms are known).
+//
+// This is the realizable counterpart of DynamicEval's clairvoyant
+// oracle: same grid, same scoring, but the choice uses only past
+// information, so it could run on the node as-is.
+func (e *Eval) AdaptiveEval(d int, cands []adaptive.Candidate, sel adaptive.Selector, ref RefKind) (*AdaptiveResult, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("optimize: no candidates")
+	}
+	maxK := 1
+	for _, c := range cands {
+		if c.Alpha < 0 || c.Alpha > 1 || c.K < 1 {
+			return nil, fmt.Errorf("optimize: invalid candidate %+v", c)
+		}
+		if c.K > maxK {
+			maxK = c.K
+		}
+	}
+	if err := e.checkConfig(d, maxK); err != nil {
+		return nil, err
+	}
+	acc, err := metrics.NewAccumulator(e.Threshold(ref))
+	if err != nil {
+		return nil, err
+	}
+	sel.Reset()
+
+	// Distinct K values so Φ is computed once per K, not per candidate.
+	kIndex := map[int]int{}
+	var ks []int
+	for _, c := range cands {
+		if _, ok := kIndex[c.K]; !ok {
+			kIndex[c.K] = len(ks)
+			ks = append(ks, c.K)
+		}
+	}
+	conds := make([]float64, len(ks))
+	losses := make([]float64, len(cands))
+	lossFloor := e.Threshold(ref) / 2 // keeps night losses O(1)
+
+	n := e.view.N
+	first, last := e.sourceRange()
+	res := &AdaptiveResult{Policy: sel.Name()}
+	prevChoice := -1
+	for t := first; t <= last; t++ {
+		day := t / n
+		pers := e.view.Start[t]
+		mu := e.mu(day, (t+1)%n, d)
+		for i, k := range ks {
+			conds[i] = mu * e.phi(t, d, k)
+		}
+		choice := sel.Choose()
+		if choice < 0 || choice >= len(cands) {
+			return nil, fmt.Errorf("optimize: policy %s chose out-of-range arm %d", sel.Name(), choice)
+		}
+		if choice != prevChoice {
+			if prevChoice >= 0 {
+				res.SwitchCount++
+			}
+			prevChoice = choice
+		}
+		chosen := cands[choice]
+		pred := core.Combine(chosen.Alpha, pers, conds[kIndex[chosen.K]])
+		refVal := e.reference(ref, t)
+		acc.Add(pred, refVal)
+
+		// Full-information feedback for every candidate.
+		for i, c := range cands {
+			p := core.Combine(c.Alpha, pers, conds[kIndex[c.K]])
+			losses[i] = adaptive.LossScale(math.Abs(refVal-p), refVal, lossFloor)
+		}
+		sel.Update(losses)
+	}
+	res.Report = acc.Snapshot()
+	if prevChoice >= 0 {
+		res.FinalCandidate = cands[prevChoice]
+	}
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"solarpred/internal/core"
+	"solarpred/internal/metrics"
+)
+
+// DynamicResult summarises the clairvoyant dynamic-parameter study for
+// one trace and sampling rate (one row group of the paper's Table V).
+type DynamicResult struct {
+	// StaticMAPE is the best static-parameter error (grid minimum).
+	StaticMAPE float64
+	// StaticParams are the parameters achieving StaticMAPE.
+	StaticParams core.Params
+	// BothMAPE is the error with both α and K adapted per prediction.
+	BothMAPE float64
+	// KOnlyMAPE is the error with K adapted at the best fixed α, which is
+	// reported in KOnlyAlpha.
+	KOnlyMAPE  float64
+	KOnlyAlpha float64
+	// AlphaOnlyMAPE is the error with α adapted at the best fixed K,
+	// which is reported in AlphaOnlyK.
+	AlphaOnlyMAPE float64
+	AlphaOnlyK    int
+}
+
+// DynamicEval runs the paper's Section IV-C clairvoyant study on the
+// trace at the evaluator's slotting: at every scored prediction the
+// oracle picks, from the grid, the (α, K) — or only K, or only α —
+// minimising that prediction's absolute error against the chosen
+// reference. D is fixed (the paper uses the Table III optimum; pass the
+// same here).
+//
+// For the single-parameter modes the non-adapted parameter is chosen as
+// the fixed value minimising the resulting average error, exactly as the
+// paper's Table V reports ("a fixed value of α has been chosen for which
+// average error is minimum").
+func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref RefKind) (*DynamicResult, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.checkConfig(d, grid.Ks[len(grid.Ks)-1]); err != nil {
+		return nil, err
+	}
+
+	threshold := e.Threshold(ref)
+	newAcc := func() *metrics.Accumulator {
+		a, _ := metrics.NewAccumulator(threshold)
+		return a
+	}
+
+	// Accumulators: one for full adaptation, one per fixed α (K adapted),
+	// one per fixed K (α adapted).
+	both := newAcc()
+	perAlpha := make([]*metrics.Accumulator, len(grid.Alphas))
+	for i := range perAlpha {
+		perAlpha[i] = newAcc()
+	}
+	perK := make([]*metrics.Accumulator, len(grid.Ks))
+	for i := range perK {
+		perK[i] = newAcc()
+	}
+
+	n := e.view.N
+	first, last := e.sourceRange()
+	conds := make([]float64, len(grid.Ks))
+	for t := first; t <= last; t++ {
+		day := t / n
+		pers := e.view.Start[t]
+		mu := e.mu(day, (t+1)%n, d)
+		for ki, k := range grid.Ks {
+			conds[ki] = mu * e.phi(t, d, k)
+		}
+		refVal := e.reference(ref, t)
+
+		// Full adaptation: min error over the whole grid.
+		bestBoth := math.Inf(1)
+		var bestBothPred float64
+		for ki := range grid.Ks {
+			for _, a := range grid.Alphas {
+				pred := core.Combine(a, pers, conds[ki])
+				if err := math.Abs(refVal - pred); err < bestBoth {
+					bestBoth, bestBothPred = err, pred
+				}
+			}
+		}
+		both.Add(bestBothPred, refVal)
+
+		// K adapted at each fixed α.
+		for ai, a := range grid.Alphas {
+			best := math.Inf(1)
+			var bestPred float64
+			for ki := range grid.Ks {
+				pred := core.Combine(a, pers, conds[ki])
+				if err := math.Abs(refVal - pred); err < best {
+					best, bestPred = err, pred
+				}
+			}
+			perAlpha[ai].Add(bestPred, refVal)
+		}
+
+		// α adapted at each fixed K.
+		for ki := range grid.Ks {
+			best := math.Inf(1)
+			var bestPred float64
+			for _, a := range grid.Alphas {
+				pred := core.Combine(a, pers, conds[ki])
+				if err := math.Abs(refVal - pred); err < best {
+					best, bestPred = err, pred
+				}
+			}
+			perK[ki].Add(bestPred, refVal)
+		}
+	}
+
+	res := &DynamicResult{
+		StaticMAPE:   staticBest.Report.MAPE,
+		StaticParams: staticBest.Params,
+		BothMAPE:     both.MAPE(),
+	}
+	res.KOnlyMAPE = math.Inf(1)
+	for ai, acc := range perAlpha {
+		if m := acc.MAPE(); m < res.KOnlyMAPE {
+			res.KOnlyMAPE = m
+			res.KOnlyAlpha = grid.Alphas[ai]
+		}
+	}
+	res.AlphaOnlyMAPE = math.Inf(1)
+	for ki, acc := range perK {
+		if m := acc.MAPE(); m < res.AlphaOnlyMAPE {
+			res.AlphaOnlyMAPE = m
+			res.AlphaOnlyK = grid.Ks[ki]
+		}
+	}
+	return res, nil
+}
+
+// Gain returns the relative improvement of the dynamic error over the
+// static error as a fraction of the static error (e.g. 0.6 means the
+// dynamic error is 60 % lower). Zero static error yields zero gain.
+func (r *DynamicResult) Gain(dynamicMAPE float64) float64 {
+	if r.StaticMAPE <= 0 {
+		return 0
+	}
+	return (r.StaticMAPE - dynamicMAPE) / r.StaticMAPE
+}
+
+// Check verifies the clairvoyant dominance invariants that must hold by
+// construction: full adaptation ≤ single-parameter adaptation ≤ static.
+// It returns an error naming the first violated invariant (allowing for
+// tiny floating-point slack).
+func (r *DynamicResult) Check() error {
+	const eps = 1e-9
+	if r.BothMAPE > r.KOnlyMAPE+eps {
+		return fmt.Errorf("optimize: K+α error %.6f exceeds K-only %.6f", r.BothMAPE, r.KOnlyMAPE)
+	}
+	if r.BothMAPE > r.AlphaOnlyMAPE+eps {
+		return fmt.Errorf("optimize: K+α error %.6f exceeds α-only %.6f", r.BothMAPE, r.AlphaOnlyMAPE)
+	}
+	if r.KOnlyMAPE > r.StaticMAPE+eps {
+		return fmt.Errorf("optimize: K-only error %.6f exceeds static %.6f", r.KOnlyMAPE, r.StaticMAPE)
+	}
+	if r.AlphaOnlyMAPE > r.StaticMAPE+eps {
+		return fmt.Errorf("optimize: α-only error %.6f exceeds static %.6f", r.AlphaOnlyMAPE, r.StaticMAPE)
+	}
+	return nil
+}

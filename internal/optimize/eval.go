@@ -1,0 +1,362 @@
+// Package optimize evaluates the prediction algorithm over full-year
+// traces and performs the paper's exhaustive parameter exploration
+// (Section IV): grid search over α, D and K at each sampling rate N,
+// under either error definition (MAPE against mean slot power, MAPE′
+// against the slot-start sample), plus the clairvoyant dynamic-parameter
+// study of Section IV-C.
+//
+// Two evaluation paths exist and are tested against each other:
+//
+//   - the online path drives internal/core.Predictor slot by slot exactly
+//     as a deployed node would;
+//   - the vectorized path precomputes per-slot day prefix sums so that
+//     μD costs O(1) and the whole α sweep shares each ΦK computation.
+//     Grid search uses this path; it is two orders of magnitude faster.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"solarpred/internal/core"
+	"solarpred/internal/metrics"
+	"solarpred/internal/stats"
+	"solarpred/internal/timeseries"
+)
+
+// RefKind selects the error definition. The paper's slot n spans the
+// interval between sample instants n and n+1: at the start of slot n the
+// node samples e(n), predicts ê(n+1) — the power at the slot's end — and
+// budgets the slot's incoming energy as ê(n+1)·T.
+type RefKind int
+
+const (
+	// RefSlotMean scores against ē(n), the mean power over the slot just
+	// entered (paper Eq. 7 → MAPE; the paper's recommended definition,
+	// because ē(n)·T is the energy the slot actually delivers).
+	RefSlotMean RefKind = iota
+	// RefSlotStart scores against the next boundary sample e(n+1)
+	// (paper Eq. 6 → MAPE′, the definition used by earlier works [2,5]).
+	RefSlotStart
+)
+
+// String names the reference kind.
+func (r RefKind) String() string {
+	switch r {
+	case RefSlotMean:
+		return "MAPE"
+	case RefSlotStart:
+		return "MAPE'"
+	default:
+		return fmt.Sprintf("RefKind(%d)", int(r))
+	}
+}
+
+// Eval holds the precomputed structures for fast repeated evaluation of
+// one slotted trace.
+type Eval struct {
+	view *timeseries.SlotView
+	// prefix[(d)*N + j] for d in [0, days] is the sum of Start[d'*N+j]
+	// over d' < d: a per-slot prefix over days, so a D-day window sum is
+	// two lookups.
+	prefix []float64
+	// peakMean and peakStart are the trace peaks used for the ROI
+	// threshold under each reference kind.
+	peakMean  float64
+	peakStart float64
+	// warmupDays is the number of leading days excluded from scoring.
+	warmupDays int
+	// roiFraction is the region-of-interest threshold as a fraction of
+	// the reference peak.
+	roiFraction float64
+	// etaMax is the ΦK ratio clamp (default core.EtaMax); the ablation
+	// benches raise it to +Inf to measure what the clamp is worth.
+	etaMax float64
+}
+
+// Option customises evaluation.
+type Option func(*Eval)
+
+// WithWarmupDays overrides the default 20-day warm-up (paper: evaluate
+// days 21–365).
+func WithWarmupDays(days int) Option {
+	return func(e *Eval) { e.warmupDays = days }
+}
+
+// WithROIFraction overrides the default 10 %-of-peak region-of-interest
+// threshold.
+func WithROIFraction(f float64) Option {
+	return func(e *Eval) { e.roiFraction = f }
+}
+
+// WithEtaMax overrides the η ratio clamp of the vectorized ΦK (default
+// core.EtaMax). Pass math.Inf(1) to disable clamping — the ablation that
+// shows why dawn-ratio clamping is load-bearing. It affects only this
+// evaluator's fast path, not the online predictor.
+func WithEtaMax(max float64) Option {
+	return func(e *Eval) { e.etaMax = max }
+}
+
+// NewEval prepares an evaluator for the slot view.
+func NewEval(view *timeseries.SlotView, opts ...Option) (*Eval, error) {
+	if view == nil || view.DaysCount == 0 {
+		return nil, fmt.Errorf("optimize: empty slot view")
+	}
+	e := &Eval{
+		view:        view,
+		peakMean:    stats.MaxOrZero(view.Mean),
+		peakStart:   stats.MaxOrZero(view.Start),
+		warmupDays:  metrics.DefaultWarmupDays,
+		roiFraction: metrics.DefaultROIFraction,
+		etaMax:      core.EtaMax,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.warmupDays < 0 || e.warmupDays >= view.DaysCount {
+		return nil, fmt.Errorf("optimize: warm-up %d days out of range for %d-day trace", e.warmupDays, view.DaysCount)
+	}
+	if e.roiFraction < 0 || e.roiFraction >= 1 {
+		return nil, fmt.Errorf("optimize: ROI fraction %.2f out of [0,1)", e.roiFraction)
+	}
+	if e.etaMax <= 0 || math.IsNaN(e.etaMax) {
+		return nil, fmt.Errorf("optimize: eta clamp %v must be positive", e.etaMax)
+	}
+	n := view.N
+	days := view.DaysCount
+	e.prefix = make([]float64, (days+1)*n)
+	for d := 0; d < days; d++ {
+		for j := 0; j < n; j++ {
+			e.prefix[(d+1)*n+j] = e.prefix[d*n+j] + view.Start[d*n+j]
+		}
+	}
+	return e, nil
+}
+
+// View returns the underlying slot view.
+func (e *Eval) View() *timeseries.SlotView { return e.view }
+
+// WarmupDays returns the scoring warm-up.
+func (e *Eval) WarmupDays() int { return e.warmupDays }
+
+// Threshold returns the absolute ROI threshold for a reference kind.
+func (e *Eval) Threshold(ref RefKind) float64 {
+	switch ref {
+	case RefSlotStart:
+		return metrics.PeakThreshold(e.peakStart, e.roiFraction)
+	default:
+		return metrics.PeakThreshold(e.peakMean, e.roiFraction)
+	}
+}
+
+// reference returns the scoring reference for the prediction made at
+// source boundary t (which forecasts the power at boundary t+1): the
+// mean of the slot [t, t+1) for Eq. 7, or the boundary sample at t+1 for
+// Eq. 6.
+func (e *Eval) reference(ref RefKind, t int) float64 {
+	if ref == RefSlotStart {
+		return e.view.Start[t+1]
+	}
+	return e.view.Mean[t]
+}
+
+// mu returns μD(j) as seen from source day d: the mean of slot j's
+// slot-start samples over days [d−D, d). It assumes d ≥ D (guaranteed for
+// scored predictions because warm-up ≥ D is enforced by callers).
+func (e *Eval) mu(d, j, D int) float64 {
+	n := e.view.N
+	return (e.prefix[d*n+j] - e.prefix[(d-D)*n+j]) / float64(D)
+}
+
+// phi computes ΦK for the prediction made after observing flat slot t
+// (source day d = t/N), matching core.Predictor.Phi including the
+// neutral-ratio fallback and previous-day wrap-around.
+func (e *Eval) phi(t, D, K int) float64 {
+	n := e.view.N
+	d := t / n
+	var num, den float64
+	for i := 1; i <= K; i++ {
+		theta := float64(i) / float64(K)
+		src := t - K + i
+		eta := 1.0
+		if src >= 0 {
+			jj := src % n
+			mu := e.mu(d, jj, D)
+			if mu > core.MuEpsilon {
+				eta = e.view.Start[src] / mu
+				if eta > e.etaMax {
+					eta = e.etaMax
+				}
+			}
+		}
+		num += theta * eta
+		den += theta
+	}
+	return num / den
+}
+
+// sourceRange returns the first and last flat source indices t whose
+// target t+1 is scored. The first source is slot 0 of the first scored
+// day: at that instant the previous day has rolled into history, so a
+// D ≤ warm-up window is always full. (The one candidate this skips — the
+// midnight slot at the exact warm-up boundary — is a night sample outside
+// every region of interest.)
+func (e *Eval) sourceRange() (first, last int) {
+	first = e.warmupDays * e.view.N
+	last = e.view.TotalSlots() - 2 // target must exist
+	return first, last
+}
+
+// SweepAlpha evaluates the configuration (D, K) for every α in alphas in
+// one pass, scoring each prediction's target against the chosen
+// reference. It returns one metrics.Report per α, index-aligned with
+// alphas.
+//
+// The warm-up must cover D days so the history window never underflows.
+func (e *Eval) SweepAlpha(D, K int, alphas []float64, ref RefKind) ([]metrics.Report, error) {
+	if err := e.checkConfig(D, K); err != nil {
+		return nil, err
+	}
+	if len(alphas) == 0 {
+		return nil, fmt.Errorf("optimize: empty alpha sweep")
+	}
+	for _, a := range alphas {
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return nil, fmt.Errorf("optimize: alpha %.3f out of [0,1]", a)
+		}
+	}
+	accs := make([]*metrics.Accumulator, len(alphas))
+	for i := range accs {
+		acc, err := metrics.NewAccumulator(e.Threshold(ref))
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = acc
+	}
+	n := e.view.N
+	first, last := e.sourceRange()
+	for t := first; t <= last; t++ {
+		d := t / n
+		pers := e.view.Start[t]
+		cond := e.mu(d, (t+1)%n, D) * e.phi(t, D, K)
+		refVal := e.reference(ref, t)
+		for i, a := range alphas {
+			accs[i].Add(core.Combine(a, pers, cond), refVal)
+		}
+	}
+	out := make([]metrics.Report, len(alphas))
+	for i, acc := range accs {
+		out[i] = acc.Snapshot()
+	}
+	return out, nil
+}
+
+// checkConfig validates a (D, K) configuration against the view and
+// warm-up.
+func (e *Eval) checkConfig(D, K int) error {
+	if D < 1 {
+		return fmt.Errorf("optimize: D %d < 1", D)
+	}
+	if K < 1 || K > e.view.N {
+		return fmt.Errorf("optimize: K %d out of range [1,%d]", K, e.view.N)
+	}
+	if D > e.warmupDays {
+		return fmt.Errorf("optimize: D %d exceeds warm-up of %d days (history would be partial)", D, e.warmupDays)
+	}
+	return nil
+}
+
+// EvaluateOnline drives a fresh core.Predictor over the whole trace slot
+// by slot and scores it like SweepAlpha does. It is the reference
+// implementation the vectorized path is tested against, and the function
+// a library user would mirror on a real deployment.
+func (e *Eval) EvaluateOnline(params core.Params, ref RefKind) (metrics.Report, error) {
+	if err := e.checkConfig(params.D, params.K); err != nil {
+		return metrics.Report{}, err
+	}
+	pred, err := core.New(e.view.N, params)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	acc, err := metrics.NewAccumulator(e.Threshold(ref))
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	n := e.view.N
+	first, last := e.sourceRange()
+	for t := 0; t <= last; t++ {
+		if err := pred.Observe(t%n, e.view.Start[t]); err != nil {
+			return metrics.Report{}, err
+		}
+		if t < first {
+			continue
+		}
+		p, err := pred.Predict()
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		acc.Add(p, e.reference(ref, t))
+	}
+	return acc.Snapshot(), nil
+}
+
+// Pairs runs the online predictor and returns the raw prediction pairs
+// for the scored region; useful for custom analyses and examples.
+func (e *Eval) Pairs(params core.Params) ([]metrics.Pair, error) {
+	if err := e.checkConfig(params.D, params.K); err != nil {
+		return nil, err
+	}
+	pred, err := core.New(e.view.N, params)
+	if err != nil {
+		return nil, err
+	}
+	n := e.view.N
+	first, last := e.sourceRange()
+	pairs := make([]metrics.Pair, 0, last-first+1)
+	for t := 0; t <= last; t++ {
+		if err := pred.Observe(t%n, e.view.Start[t]); err != nil {
+			return nil, err
+		}
+		if t < first {
+			continue
+		}
+		p, err := pred.Predict()
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, metrics.Pair{
+			Predicted: p,
+			SlotStart: e.view.Start[t+1],
+			SlotMean:  e.view.Mean[t],
+		})
+	}
+	return pairs, nil
+}
+
+// EvaluateBaseline scores any SlotPredictor (EWMA, persistence, …) over
+// the trace with the same protocol as EvaluateOnline.
+func (e *Eval) EvaluateBaseline(p core.SlotPredictor, ref RefKind) (metrics.Report, error) {
+	if p.N() != e.view.N {
+		return metrics.Report{}, fmt.Errorf("optimize: predictor has %d slots/day, view has %d", p.N(), e.view.N)
+	}
+	acc, err := metrics.NewAccumulator(e.Threshold(ref))
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	n := e.view.N
+	first, last := e.sourceRange()
+	for t := 0; t <= last; t++ {
+		if err := p.Observe(t%n, e.view.Start[t]); err != nil {
+			return metrics.Report{}, err
+		}
+		if t < first {
+			continue
+		}
+		pr, err := p.Predict()
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		acc.Add(pr, e.reference(ref, t))
+	}
+	return acc.Snapshot(), nil
+}

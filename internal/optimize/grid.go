@@ -1,0 +1,219 @@
+package optimize
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"solarpred/internal/core"
+	"solarpred/internal/metrics"
+)
+
+// Space is the parameter search space for the grid search. The paper's
+// exhaustive space is Alphas = {0, 0.1, …, 1}, Ds = {2, …, 20},
+// Ks = {1, …, 6}.
+type Space struct {
+	Alphas []float64
+	Ds     []int
+	Ks     []int
+}
+
+// DefaultSpace returns the paper's search space.
+func DefaultSpace() Space {
+	alphas := make([]float64, 11)
+	for i := range alphas {
+		alphas[i] = float64(i) / 10
+	}
+	ds := make([]int, 0, 19)
+	for d := 2; d <= 20; d++ {
+		ds = append(ds, d)
+	}
+	return Space{Alphas: alphas, Ds: ds, Ks: []int{1, 2, 3, 4, 5, 6}}
+}
+
+// Validate checks the space is non-empty and within domain bounds.
+func (s Space) Validate() error {
+	if len(s.Alphas) == 0 || len(s.Ds) == 0 || len(s.Ks) == 0 {
+		return fmt.Errorf("optimize: search space must be non-empty in every dimension")
+	}
+	for _, a := range s.Alphas {
+		if a < 0 || a > 1 {
+			return fmt.Errorf("optimize: space alpha %.3f out of [0,1]", a)
+		}
+	}
+	for _, d := range s.Ds {
+		if d < 1 {
+			return fmt.Errorf("optimize: space D %d < 1", d)
+		}
+	}
+	for _, k := range s.Ks {
+		if k < 1 {
+			return fmt.Errorf("optimize: space K %d < 1", k)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of (α, D, K) combinations.
+func (s Space) Size() int { return len(s.Alphas) * len(s.Ds) * len(s.Ks) }
+
+// Cell is one evaluated grid point.
+type Cell struct {
+	Params core.Params
+	Report metrics.Report
+}
+
+// SearchResult is the outcome of a grid search.
+type SearchResult struct {
+	// Best is the error-minimising cell.
+	Best Cell
+	// Cells holds every evaluated grid point (α-major within each (D,K)
+	// block), for plotting slices such as the paper's Fig. 7.
+	Cells []Cell
+}
+
+// MinForD returns the minimum-error cell among those with the given D.
+func (r *SearchResult) MinForD(d int) (Cell, bool) {
+	return r.minWhere(func(c Cell) bool { return c.Params.D == d })
+}
+
+// MinForK returns the minimum-error cell among those with the given K.
+func (r *SearchResult) MinForK(k int) (Cell, bool) {
+	return r.minWhere(func(c Cell) bool { return c.Params.K == k })
+}
+
+func (r *SearchResult) minWhere(keep func(Cell) bool) (Cell, bool) {
+	best := Cell{}
+	found := false
+	for _, c := range r.Cells {
+		if !keep(c) {
+			continue
+		}
+		if !found || c.Report.MAPE < best.Report.MAPE {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// GridSearch exhaustively evaluates the space with the vectorized
+// evaluator, minimising the averaged error of the chosen reference kind.
+// (D, K) blocks are evaluated in parallel; the α sweep inside a block
+// shares the ΦK computations.
+//
+// Ties are broken deterministically toward smaller D, then smaller K,
+// then smaller α, so results are stable across runs and GOMAXPROCS.
+func (e *Eval) GridSearch(space Space, ref RefKind) (*SearchResult, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	for _, d := range space.Ds {
+		if err := e.checkConfig(d, space.Ks[0]); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range space.Ks {
+		if err := e.checkConfig(space.Ds[0], k); err != nil {
+			return nil, err
+		}
+	}
+
+	type block struct{ d, k int }
+	blocks := make([]block, 0, len(space.Ds)*len(space.Ks))
+	for _, d := range space.Ds {
+		for _, k := range space.Ks {
+			blocks = append(blocks, block{d, k})
+		}
+	}
+	cells := make([][]Cell, len(blocks))
+	errs := make([]error, len(blocks))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				b := blocks[i]
+				reports, err := e.SweepAlpha(b.d, b.k, space.Alphas, ref)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				cs := make([]Cell, len(reports))
+				for ai, rep := range reports {
+					cs[ai] = Cell{
+						Params: core.Params{Alpha: space.Alphas[ai], D: b.d, K: b.k},
+						Report: rep,
+					}
+				}
+				cells[i] = cs
+			}
+		}()
+	}
+	for i := range blocks {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &SearchResult{Cells: make([]Cell, 0, space.Size())}
+	for _, cs := range cells {
+		res.Cells = append(res.Cells, cs...)
+	}
+	// Deterministic ordering and tie-breaking.
+	sort.SliceStable(res.Cells, func(a, b int) bool {
+		pa, pb := res.Cells[a].Params, res.Cells[b].Params
+		if pa.D != pb.D {
+			return pa.D < pb.D
+		}
+		if pa.K != pb.K {
+			return pa.K < pb.K
+		}
+		return pa.Alpha < pb.Alpha
+	})
+	res.Best = res.Cells[0]
+	for _, c := range res.Cells[1:] {
+		if c.Report.MAPE < res.Best.Report.MAPE {
+			res.Best = c
+		}
+	}
+	return res, nil
+}
+
+// CurveOverD returns, for each D in ds, the minimum error over α at the
+// fixed K — the slice the paper plots in Fig. 7 (MAPE versus D). The
+// returned values are index-aligned with ds.
+func (e *Eval) CurveOverD(ds []int, k int, alphas []float64, ref RefKind) ([]float64, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("optimize: empty D list")
+	}
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		reports, err := e.SweepAlpha(d, k, alphas, ref)
+		if err != nil {
+			return nil, err
+		}
+		best := reports[0].MAPE
+		for _, r := range reports[1:] {
+			if r.MAPE < best {
+				best = r.MAPE
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"solarpred/internal/core"
+	"solarpred/internal/timeseries"
+)
+
+// scaleView returns a copy of the view with all powers multiplied by c.
+func scaleView(v *timeseries.SlotView, c float64) *timeseries.SlotView {
+	out := &timeseries.SlotView{
+		N: v.N, M: v.M, DaysCount: v.DaysCount, SlotMinutes: v.SlotMinutes,
+		Start: make([]float64, len(v.Start)),
+		Mean:  make([]float64, len(v.Mean)),
+	}
+	for i := range v.Start {
+		out.Start[i] = v.Start[i] * c
+		out.Mean[i] = v.Mean[i] * c
+	}
+	return out
+}
+
+// TestMAPEScaleInvariantEndToEnd is the pipeline-level version of the
+// paper's motivation for MAPE: rescaling the whole trace (a different
+// panel size, different units) must leave MAPE bit-comparable, because
+// the predictor is homogeneous, the ROI threshold is peak-relative and
+// the error is reference-relative.
+func TestMAPEScaleInvariantEndToEnd(t *testing.T) {
+	view := testView(t, "ECSU", 40, 24)
+	params := core.Params{Alpha: 0.6, D: 8, K: 2}
+	base, err := NewEval(view, WithWarmupDays(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := base.EvaluateOnline(params, RefSlotMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float64) bool {
+		c := 0.01 + math.Mod(math.Abs(raw), 50)
+		scaled, err := NewEval(scaleView(view, c), WithWarmupDays(10))
+		if err != nil {
+			return false
+		}
+		rep, err := scaled.EvaluateOnline(params, RefSlotMean)
+		if err != nil {
+			return false
+		}
+		return rep.Samples == ref.Samples && math.Abs(rep.MAPE-ref.MAPE) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGridSearchBestNeverAboveAnyProbe cross-checks the optimiser
+// against random probes evaluated through the online path.
+func TestGridSearchBestNeverAboveAnyProbe(t *testing.T) {
+	view := testView(t, "SPMD", 40, 24)
+	e := newEval(t, view, WithWarmupDays(10))
+	space := Space{
+		Alphas: []float64{0, 0.25, 0.5, 0.75, 1},
+		Ds:     []int{3, 6, 9},
+		Ks:     []int{1, 2, 4},
+	}
+	res, err := e.GridSearch(space, RefSlotMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		p := core.Params{
+			Alpha: space.Alphas[rng.Intn(len(space.Alphas))],
+			D:     space.Ds[rng.Intn(len(space.Ds))],
+			K:     space.Ks[rng.Intn(len(space.Ks))],
+		}
+		rep, err := e.EvaluateOnline(p, RefSlotMean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MAPE < res.Best.Report.MAPE-1e-9 {
+			t.Fatalf("probe %+v (%.6f) beats grid best (%.6f)", p, rep.MAPE, res.Best.Report.MAPE)
+		}
+	}
+}
+
+// TestROIFractionMonotonicity: a stricter region of interest (higher
+// threshold) keeps a subset of samples.
+func TestROIFractionMonotonicity(t *testing.T) {
+	view := testView(t, "SPMD", 35, 24)
+	params := core.Params{Alpha: 0.6, D: 6, K: 2}
+	prev := -1
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.4} {
+		e, err := NewEval(view, WithWarmupDays(8), WithROIFraction(frac))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.EvaluateOnline(params, RefSlotMean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && rep.Samples > prev {
+			t.Fatalf("ROI %.2f keeps more samples (%d) than looser filter (%d)", frac, rep.Samples, prev)
+		}
+		prev = rep.Samples
+	}
+}
+
+// TestWarmupShrinksScoredSet: more warm-up days ⇒ fewer scored samples,
+// never more.
+func TestWarmupShrinksScoredSet(t *testing.T) {
+	view := testView(t, "NPCS", 40, 24)
+	params := core.Params{Alpha: 0.6, D: 5, K: 1}
+	prev := -1
+	for _, w := range []int{6, 10, 20, 30} {
+		e, err := NewEval(view, WithWarmupDays(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.EvaluateOnline(params, RefSlotMean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := rep.Samples + rep.OutsideROI
+		if prev >= 0 && total >= prev {
+			t.Fatalf("warm-up %d scored %d slots, not fewer than %d", w, total, prev)
+		}
+		prev = total
+	}
+}
+
+// TestPhiWithinClampBounds: the vectorized Φ must stay within
+// [0, EtaMax] for any (D, K) — it is a weighted average of clamped,
+// nonnegative ratios.
+func TestPhiWithinClampBounds(t *testing.T) {
+	view := testView(t, "ORNL", 35, 24)
+	e := newEval(t, view, WithWarmupDays(10))
+	first, last := e.sourceRange()
+	for _, d := range []int{2, 6, 10} {
+		for _, k := range []int{1, 3, 6} {
+			for tt := first; tt <= last; tt += 7 {
+				phi := e.phi(tt, d, k)
+				if phi < 0 || phi > core.EtaMax+1e-12 || math.IsNaN(phi) {
+					t.Fatalf("Phi(%d, D=%d, K=%d) = %v out of bounds", tt, d, k, phi)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package stats provides small, allocation-conscious statistical helpers
+// used throughout the solar prediction library: summary statistics,
+// running (online) accumulators, quantiles, histograms and prefix sums.
+//
+// All functions treat NaN inputs as programming errors and do not attempt
+// to filter them; callers are expected to sanitise data first.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty slices.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n).
+// It returns zero for slices of length < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It returns ErrEmpty for an empty slice.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs. It returns ErrEmpty for an empty slice.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// MaxOrZero returns the maximum of xs, or zero for an empty slice.
+// It is a convenience for peak-power scans where an empty trace means
+// "no power was ever observed".
+func MaxOrZero(xs []float64) float64 {
+	m, err := Max(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. The input need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0], nil
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo], nil
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Clamp limits x to the inclusive range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Running accumulates count, mean and variance online using Welford's
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the accumulator.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples seen.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean, or zero before any samples.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest sample seen, or zero before any samples.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample seen, or zero before any samples.
+func (r *Running) Max() float64 { return r.max }
+
+// Reset returns the accumulator to its zero state.
+func (r *Running) Reset() { *r = Running{} }
+
+// PrefixSums returns the exclusive prefix sums of xs: out[i] is the sum of
+// xs[0:i], so out has length len(xs)+1 and the sum of xs[a:b] is
+// out[b]-out[a]. This is the primitive behind the O(1) sliding-window
+// μD computation in the optimizer.
+func PrefixSums(xs []float64) []float64 {
+	out := make([]float64, len(xs)+1)
+	for i, x := range xs {
+		out[i+1] = out[i] + x
+	}
+	return out
+}
+
+// WindowSum returns the sum of xs[a:b] given prefix sums produced by
+// PrefixSums. It panics if the indices are out of range, matching slice
+// semantics.
+func WindowSum(prefix []float64, a, b int) float64 { return prefix[b] - prefix[a] }
+
+// Histogram counts xs into nbins equal-width bins spanning [lo, hi].
+// Values outside the range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins over [lo, hi].
+func NewHistogram(xs []float64, nbins int, lo, hi float64) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: histogram range is empty")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Total returns the number of samples in the histogram.
+func (h *Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Mode returns the index of the fullest bin (ties resolve to the lowest
+// index).
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys, which must have equal length >= 2. Degenerate (zero-variance) inputs
+// yield zero.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: correlation length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSumMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		sum  float64
+		mean float64
+	}{
+		{nil, 0, 0},
+		{[]float64{}, 0, 0},
+		{[]float64{5}, 5, 5},
+		{[]float64{1, 2, 3, 4}, 10, 2.5},
+		{[]float64{-1, 1}, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Sum(c.xs); got != c.sum {
+			t.Errorf("Sum(%v) = %v, want %v", c.xs, got, c.sum)
+		}
+		if got := Mean(c.xs); got != c.mean {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.mean)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+	xs := []float64{3, -1, 7, 0}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -1 || mx != 7 {
+		t.Errorf("Min/Max = %v/%v, want -1/7", mn, mx)
+	}
+	if MaxOrZero(nil) != 0 {
+		t.Error("MaxOrZero(nil) should be 0")
+	}
+	if MaxOrZero(xs) != 7 {
+		t.Error("MaxOrZero mismatch")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatalf("Quantile err: %v", err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile of empty should error")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile out of range should error")
+	}
+	m, err := Median([]float64{9})
+	if err != nil || m != 9 {
+		t.Errorf("Median singleton = %v,%v", m, err)
+	}
+}
+
+func TestQuantileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	orig := append([]float64(nil), xs...)
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Quantile mutated its input")
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp mismatch")
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 3
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almostEqual(r.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %v vs batch %v", r.Mean(), Mean(xs))
+	}
+	if !almostEqual(r.Variance(), Variance(xs), 1e-7) {
+		t.Errorf("running var %v vs batch %v", r.Variance(), Variance(xs))
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if r.Min() != mn || r.Max() != mx {
+		t.Error("running min/max mismatch")
+	}
+	r.Reset()
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdDev() != 0 {
+		t.Error("zero-value Running should report zeros")
+	}
+	r.Add(7)
+	if r.Mean() != 7 || r.Variance() != 0 || r.Min() != 7 || r.Max() != 7 {
+		t.Error("single-sample Running mismatch")
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	p := PrefixSums(xs)
+	want := []float64{0, 1, 3, 6, 10}
+	if len(p) != len(want) {
+		t.Fatalf("len = %d", len(p))
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("prefix[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+	if WindowSum(p, 1, 3) != 5 {
+		t.Errorf("WindowSum(1,3) = %v, want 5", WindowSum(p, 1, 3))
+	}
+	if WindowSum(p, 0, 4) != 10 {
+		t.Error("full-window sum mismatch")
+	}
+	if WindowSum(p, 2, 2) != 0 {
+		t.Error("empty window should sum to 0")
+	}
+}
+
+func TestPrefixSumsPropertyWindowEqualsDirect(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Constrain magnitude so float error stays bounded.
+			xs = append(xs, math.Mod(v, 1000))
+		}
+		p := PrefixSums(xs)
+		for a := 0; a <= len(xs); a += 3 {
+			for b := a; b <= len(xs); b += 5 {
+				direct := Sum(xs[a:b])
+				if !almostEqual(WindowSum(p, a, b), direct, 1e-6*(1+math.Abs(direct))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.5, 0.9, -5, 10}
+	h, err := NewHistogram(xs, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != len(xs) {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -5 clamps into bin 0; 10 clamps into bin 3.
+	if h.Counts[0] != 3 { // 0.1, 0.2, -5
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[3] != 2 { // 0.9, 10
+		t.Errorf("bin3 = %d, want 2", h.Counts[3])
+	}
+	if h.Mode() != 0 {
+		t.Errorf("Mode = %d, want 0", h.Mode())
+	}
+	if _, err := NewHistogram(xs, 0, 0, 1); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(xs, 3, 1, 1); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v (%v)", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("anti correlation = %v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	r, _ = Correlation(xs, flat)
+	if r != 0 {
+		t.Errorf("degenerate correlation = %v, want 0", r)
+	}
+	if _, err := Correlation(xs, xs[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Correlation(nil, nil); err != ErrEmpty {
+		t.Error("empty should return ErrEmpty")
+	}
+}
+
+func TestRunningPropertyMeanWithinMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var r Running
+		any := false
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound magnitude: the invariant holds exactly in real
+			// arithmetic but not at the extremes of float64 range.
+			r.Add(math.Mod(v, 1e6))
+			any = true
+		}
+		if !any {
+			return true
+		}
+		tol := 1e-9 * (1 + math.Abs(r.Mean()))
+		return r.Mean() >= r.Min()-tol && r.Mean() <= r.Max()+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package solarpred_test
+
+import (
+	"math"
+	"testing"
+
+	"solarpred"
+)
+
+// TestPublicAPIEndToEnd exercises the documented facade workflow: site →
+// trace → slot view → predictor → evaluator.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	site, err := solarpred.SiteByName("SPMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := solarpred.GenerateDays(site, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := trace.Slot(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := solarpred.NewPredictor(48, solarpred.Params{Alpha: 0.7, D: 10, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastForecast float64
+	for tt := 0; tt < view.TotalSlots(); tt++ {
+		if err := pred.Observe(tt%48, view.Start[tt]); err != nil {
+			t.Fatal(err)
+		}
+		f, err := pred.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 0 || math.IsNaN(f) {
+			t.Fatalf("bad forecast %v", f)
+		}
+		lastForecast = f
+	}
+	_ = lastForecast
+
+	eval, err := solarpred.NewEvaluator(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eval.EvaluateOnline(solarpred.Params{Alpha: 0.7, D: 10, K: 2}, solarpred.RefSlotMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples == 0 || rep.MAPE <= 0 || rep.MAPE > 1 {
+		t.Fatalf("implausible report %+v", rep)
+	}
+}
+
+func TestPublicSites(t *testing.T) {
+	sites := solarpred.Sites()
+	if len(sites) != 6 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	if _, err := solarpred.SiteByName("nope"); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	if _, err := solarpred.NewEWMA(48, 0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := solarpred.NewPersistence(48); err != nil {
+		t.Error(err)
+	}
+	if _, err := solarpred.NewPreviousDay(48); err != nil {
+		t.Error(err)
+	}
+	if _, err := solarpred.NewEWMA(48, 2); err == nil {
+		t.Error("bad beta accepted")
+	}
+}
+
+func TestPublicSearchAndConfigs(t *testing.T) {
+	space := solarpred.DefaultSearchSpace()
+	if space.Size() != 11*19*6 {
+		t.Errorf("space size %d", space.Size())
+	}
+	if err := solarpred.PaperConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := solarpred.QuickExperimentConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicEnergyModel(t *testing.T) {
+	p := solarpred.Params{Alpha: 0.7, D: 20, K: 2}
+	sf, err := solarpred.PredictionEnergyJ(p, solarpred.SoftFloatModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := solarpred.PredictionEnergyJ(p, solarpred.FixedPointModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx >= sf {
+		t.Error("fixed point should be cheaper")
+	}
+}
+
+func TestPublicNodeSimulation(t *testing.T) {
+	site, err := solarpred.SiteByName("NPCS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := solarpred.GenerateDays(site, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := trace.Slot(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := solarpred.NewPredictor(48, solarpred.Params{Alpha: 0.7, D: 5, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solarpred.SimulateNode(solarpred.DefaultNodeConfig(), view, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != view.TotalSlots() {
+		t.Error("simulation did not cover the trace")
+	}
+}
+
+func TestPublicAdaptiveSelectors(t *testing.T) {
+	cands, err := solarpred.CandidateGrid([]float64{0, 0.5, 1}, []int{1, 2})
+	if err != nil || len(cands) != 6 {
+		t.Fatalf("grid: %v %d", err, len(cands))
+	}
+	if _, err := solarpred.CandidateGrid(nil, nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := solarpred.NewFollowTheLeader(len(cands)); err != nil {
+		t.Error(err)
+	}
+	if _, err := solarpred.NewDiscountedFTL(len(cands), 0.99); err != nil {
+		t.Error(err)
+	}
+	if _, err := solarpred.NewSlidingWindowSelector(len(cands), 48); err != nil {
+		t.Error(err)
+	}
+	if _, err := solarpred.NewHedgeSelector(len(cands), 0.3); err != nil {
+		t.Error(err)
+	}
+	if _, err := solarpred.NewFollowTheLeader(0); err == nil {
+		t.Error("zero candidates accepted")
+	}
+	if _, err := solarpred.NewDiscountedFTL(2, 2); err == nil {
+		t.Error("bad gamma accepted")
+	}
+	if _, err := solarpred.NewSlidingWindowSelector(2, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := solarpred.NewHedgeSelector(2, -1); err == nil {
+		t.Error("bad eta accepted")
+	}
+}
+
+func TestPublicSlotAR(t *testing.T) {
+	ar, err := solarpred.NewSlotAR(48, 0.3, 0.995)
+	if err != nil || ar.N() != 48 {
+		t.Fatalf("SlotAR: %v", err)
+	}
+	if _, err := solarpred.NewSlotAR(48, 0, 0.995); err == nil {
+		t.Error("bad beta accepted")
+	}
+}
+
+func TestPublicFaults(t *testing.T) {
+	scenarios := solarpred.FaultScenarios()
+	if len(scenarios) == 0 {
+		t.Fatal("no scenarios")
+	}
+	site, err := solarpred.SiteByName("NPCS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := solarpred.GenerateDays(site, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := solarpred.InjectFault(trace, solarpred.FaultConfig{
+		Kind: solarpred.FaultSpike, Rate: 0.01, SpikeGain: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Days() != 5 || rep.TotalSamples != len(trace.Samples) {
+		t.Error("injection shape mismatch")
+	}
+	if _, _, err := solarpred.InjectFault(trace, solarpred.FaultConfig{Kind: solarpred.FaultSpike, Rate: 2}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestPublicGenerateFullSite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-year generation")
+	}
+	site, err := solarpred.SiteByName("ECSU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := solarpred.Generate(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Samples) != site.Observations() {
+		t.Errorf("observations = %d, want %d", len(trace.Samples), site.Observations())
+	}
+}
