@@ -20,6 +20,7 @@ import (
 	"solarpred/internal/experiments"
 	"solarpred/internal/faults"
 	"solarpred/internal/mcu"
+	"solarpred/internal/metrics"
 	"solarpred/internal/optimize"
 	"solarpred/internal/solar"
 	"solarpred/internal/timeseries"
@@ -475,6 +476,60 @@ func BenchmarkKernelPredictFixedPoint(b *testing.B) {
 		if _, err := k.Predict(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEvaluateOnline times one full online evaluation pass (the
+// reference path the vectorized engine is validated against). The
+// reported allocations are the constant per-call setup (predictor +
+// accumulator); the per-prediction loop itself is allocation-free, which
+// BenchmarkOnlinePredictionStep pins down.
+func BenchmarkEvaluateOnline(b *testing.B) {
+	view := benchView(b, "SPMD", 60, 48)
+	e, err := optimize.NewEval(view, optimize.WithWarmupDays(15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.Params{Alpha: 0.7, D: 10, K: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvaluateOnline(params, optimize.RefSlotMean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlinePredictionStep measures exactly one iteration of the
+// EvaluateOnline inner loop — Observe, Predict, score — and must report
+// 0 B/op: the acceptance bar for the evaluation engine is zero
+// allocations per prediction.
+func BenchmarkOnlinePredictionStep(b *testing.B) {
+	view := benchView(b, "NPCS", 30, 48)
+	p, err := core.New(48, core.Params{Alpha: 0.7, D: 10, K: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc, err := metrics.NewAccumulator(0.1 * view.PeakMean())
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := view.TotalSlots()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := i % total
+		if t == 0 && i > 0 {
+			p.Reset()
+		}
+		if err := p.Observe(t%48, view.Start[t]); err != nil {
+			b.Fatal(err)
+		}
+		pred, err := p.Predict()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Add(pred, view.Mean[t])
 	}
 }
 

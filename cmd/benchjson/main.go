@@ -1,0 +1,199 @@
+// Command benchjson times the library's key experiment drivers and hot
+// paths at a reproducible reduced scale and writes the results as a JSON
+// file (BENCH_<n>.json by default), so the performance trajectory of the
+// evaluation engine can be tracked PR over PR without parsing `go test
+// -bench` output.
+//
+// Usage:
+//
+//	benchjson            # writes BENCH_1.json in the working directory
+//	benchjson -n 3       # writes BENCH_3.json
+//	benchjson -out x.json -iters 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"solarpred/internal/core"
+	"solarpred/internal/experiments"
+	"solarpred/internal/optimize"
+)
+
+// Result is one timed entry of the report.
+type Result struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metric carries one representative output value (a MAPE, a row
+	// count, …) so a regression in *results* is caught alongside one in
+	// *speed*.
+	Metric     float64 `json:"metric"`
+	MetricName string  `json:"metric_name"`
+}
+
+// Report is the whole emitted document.
+type Report struct {
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Timestamp  time.Time `json:"timestamp"`
+	Results    []Result  `json:"results"`
+}
+
+func main() {
+	n := flag.Int("n", 1, "PR / sequence number used in the default file name")
+	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
+	iters := flag.Int("iters", 3, "iterations per driver (best time is reported)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", *n)
+	}
+	if *iters < 1 {
+		fmt.Fprintf(os.Stderr, "benchjson: -iters %d must be at least 1\n", *iters)
+		os.Exit(2)
+	}
+	if err := run(path, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// timeBest runs fn iters times and returns the best wall time together
+// with fn's last metric value.
+func timeBest(iters int, fn func() (float64, error)) (time.Duration, float64, error) {
+	best := time.Duration(1<<63 - 1)
+	var metric float64
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		m, err := fn()
+		if err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		metric = m
+	}
+	return best, metric, nil
+}
+
+func run(path string, iters int) error {
+	cfg := experiments.QuickConfig()
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+	}
+
+	add := func(name, metricName string, fn func() (float64, error)) error {
+		best, metric, err := timeBest(iters, fn)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name: name, Iters: iters, NsPerOp: float64(best.Nanoseconds()),
+			Metric: metric, MetricName: metricName,
+		})
+		fmt.Printf("%-24s %12.3f ms   %s=%.4f\n", name, best.Seconds()*1e3, metricName, metric)
+		return nil
+	}
+
+	if err := add("TableII", "MAPE", func() (float64, error) {
+		rows, err := experiments.TableII(cfg, 48)
+		if err != nil {
+			return 0, err
+		}
+		return rows[0].MeanError, nil
+	}); err != nil {
+		return err
+	}
+	if err := add("TableIII", "MAPE@N24", func() (float64, error) {
+		rows, err := experiments.TableIII(cfg)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range rows {
+			if r.Site == cfg.Sites[0] && r.N == 24 {
+				return r.Best.Report.MAPE, nil
+			}
+		}
+		return 0, fmt.Errorf("missing N=24 row")
+	}); err != nil {
+		return err
+	}
+	if err := add("TableV", "dynamicMAPE", func() (float64, error) {
+		rows, err := experiments.TableV(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return rows[0].Both, nil
+	}); err != nil {
+		return err
+	}
+	if err := add("Fig7", "MAPE@Dmin", func() (float64, error) {
+		series, err := experiments.Fig7(cfg, 48)
+		if err != nil {
+			return 0, err
+		}
+		return series[0].MAPEs[0], nil
+	}); err != nil {
+		return err
+	}
+
+	// Hot-path micro drivers on a fixed trace.
+	trace, err := cfg.Trace(cfg.Sites[0])
+	if err != nil {
+		return err
+	}
+	view, err := trace.Slot(48)
+	if err != nil {
+		return err
+	}
+	eval, err := optimize.NewEval(view, optimize.WithWarmupDays(cfg.WarmupDays))
+	if err != nil {
+		return err
+	}
+	space := cfg.Space
+	if err := add("GridSearch", "bestMAPE", func() (float64, error) {
+		res, err := eval.GridSearch(space, optimize.RefSlotMean)
+		if err != nil {
+			return 0, err
+		}
+		return res.Best.Report.MAPE, nil
+	}); err != nil {
+		return err
+	}
+	if err := add("SweepAlpha", "MAPE@a0", func() (float64, error) {
+		reps, err := eval.SweepAlpha(10, 3, space.Alphas, optimize.RefSlotMean)
+		if err != nil {
+			return 0, err
+		}
+		return reps[0].MAPE, nil
+	}); err != nil {
+		return err
+	}
+	if err := add("EvaluateOnline", "MAPE", func() (float64, error) {
+		r, err := eval.EvaluateOnline(core.Params{Alpha: 0.7, D: 10, K: 2}, optimize.RefSlotMean)
+		if err != nil {
+			return 0, err
+		}
+		return r.MAPE, nil
+	}); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

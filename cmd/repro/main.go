@@ -27,12 +27,14 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced configuration")
+	workers := flag.Int("workers", 0, "concurrent (site, N) evaluations per driver (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Workers = *workers
 	if err := run(cfg, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module solarpred
+
+go 1.24

@@ -102,6 +102,13 @@ type Predictor struct {
 	// wrap-around at the start of a day.
 	prev      []float64
 	prevValid bool
+
+	// muTable[j] is μD(j) over the current history, refreshed once per
+	// day roll so every μD lookup during the day is a single load instead
+	// of a D-term sum. The refresh re-sums the ring rows in the same
+	// order muD historically did, so predictions are bit-identical to the
+	// naive implementation.
+	muTable []float64
 }
 
 // New creates a Predictor for n slots per day with the given parameters.
@@ -116,11 +123,12 @@ func New(n int, params Params) (*Predictor, error) {
 		return nil, fmt.Errorf("core: K %d exceeds slots per day %d", params.K, n)
 	}
 	p := &Predictor{
-		params: params,
-		n:      n,
-		hist:   make([][]float64, params.D),
-		cur:    make([]float64, n),
-		prev:   make([]float64, n),
+		params:  params,
+		n:       n,
+		hist:    make([][]float64, params.D),
+		cur:     make([]float64, n),
+		prev:    make([]float64, n),
+		muTable: make([]float64, n),
 	}
 	for i := range p.hist {
 		p.hist[i] = make([]float64, n)
@@ -162,7 +170,11 @@ func (p *Predictor) Observe(slot int, power float64) error {
 	return nil
 }
 
-// rollDay moves the completed current day into the history ring.
+// rollDay moves the completed current day into the history ring and
+// refreshes the μD table. The history only changes here, so the N×D
+// refresh once per day replaces a D-term sum inside every prediction —
+// the same bookkeeping the embedded port (internal/mcu.Kernel) does with
+// its running sums.
 func (p *Predictor) rollDay() {
 	copy(p.prev, p.cur)
 	p.prevValid = true
@@ -172,19 +184,21 @@ func (p *Predictor) rollDay() {
 		p.histDays++
 	}
 	p.curSlot = 0
+	days := float64(p.histDays)
+	for j := 0; j < p.n; j++ {
+		var sum float64
+		for r := 0; r < p.histDays; r++ {
+			sum += p.hist[r][j]
+		}
+		p.muTable[j] = sum / days
+	}
 }
 
-// muD returns the μD average of slot j over the valid history rows.
-// With no history at all it returns 0.
+// muD returns the μD average of slot j over the valid history rows, from
+// the per-day-refreshed table. With no history at all it returns 0 (the
+// table's initial state).
 func (p *Predictor) muD(j int) float64 {
-	if p.histDays == 0 {
-		return 0
-	}
-	var sum float64
-	for r := 0; r < p.histDays; r++ {
-		sum += p.hist[r][j]
-	}
-	return sum / float64(p.histDays)
+	return p.muTable[j]
 }
 
 // currentOrPrev returns the measurement for current-day slot index j,
@@ -316,6 +330,7 @@ func (p *Predictor) Reset() {
 	for j := range p.cur {
 		p.cur[j] = 0
 		p.prev[j] = 0
+		p.muTable[j] = 0
 	}
 	p.histNext, p.histDays, p.curSlot = 0, 0, 0
 	p.prevValid = false

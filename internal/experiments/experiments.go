@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"solarpred/internal/core"
@@ -31,6 +32,79 @@ type Config struct {
 	Ns []int
 	// Space is the static parameter search space.
 	Space optimize.Space
+	// Workers bounds the number of concurrent (site, N) evaluations a
+	// driver runs; 0 means GOMAXPROCS. Results are ordered by input
+	// index regardless of the worker count, so driver output is
+	// deterministic for any setting.
+	Workers int
+}
+
+// workers resolves the configured worker bound.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on a bounded worker pool.
+// Callers write results into index i of a preallocated slice, which keeps
+// output ordering deterministic regardless of scheduling. The returned
+// error is the lowest-index failure, so error reporting is deterministic
+// too.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// siteN is one (site, sampling rate) job of a table driver.
+type siteN struct {
+	site string
+	n    int
+}
+
+// crossSitesNs enumerates sites × ns in row-major (site-major) order, the
+// ordering the paper's tables use.
+func crossSitesNs(sites []string, ns []int) []siteN {
+	jobs := make([]siteN, 0, len(sites)*len(ns))
+	for _, s := range sites {
+		for _, n := range ns {
+			jobs = append(jobs, siteN{s, n})
+		}
+	}
+	return jobs
 }
 
 // DefaultConfig reproduces the paper's full setup: six sites, 365 days,
@@ -84,6 +158,9 @@ func (c Config) Validate() error {
 		if d > c.WarmupDays {
 			return fmt.Errorf("experiments: space D=%d exceeds warm-up %d", d, c.WarmupDays)
 		}
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: negative worker count %d", c.Workers)
 	}
 	return nil
 }
@@ -156,32 +233,39 @@ type TableIIRow struct {
 }
 
 // TableII runs the dual-cost-function optimisation of the paper's
-// Table II at the given sampling rate (the paper uses N=48).
+// Table II at the given sampling rate (the paper uses N=48). Sites are
+// evaluated concurrently on the configured worker pool; row order is
+// always the configured site order.
 func TableII(cfg Config, n int) ([]TableIIRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rows := make([]TableIIRow, 0, len(cfg.Sites))
-	for _, site := range cfg.Sites {
+	rows := make([]TableIIRow, len(cfg.Sites))
+	err := parallelFor(cfg.workers(), len(cfg.Sites), func(i int) error {
+		site := cfg.Sites[i]
 		e, _, err := cfg.evalFor(site, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prime, err := e.GridSearch(cfg.Space, optimize.RefSlotStart)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mean, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, TableIIRow{
+		rows[i] = TableIIRow{
 			Site:       site,
 			PrimeBest:  prime.Best,
 			MeanBest:   mean.Best,
 			PrimeError: prime.Best.Report.MAPE,
 			MeanError:  mean.Best.Report.MAPE,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -202,19 +286,24 @@ type TableIIIRow struct {
 }
 
 // TableIII runs the sampling-rate exploration of the paper's Table III.
+// The (site, N) cells are evaluated concurrently on the configured worker
+// pool; row order is site-major like the paper's table.
 func TableIII(cfg Config) ([]TableIIIRow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var rows []TableIIIRow
-	for _, site := range cfg.Sites {
-		for _, n := range cfg.Ns {
-			row, err := tableIIIRow(cfg, site, n)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+	jobs := crossSitesNs(cfg.Sites, cfg.Ns)
+	rows := make([]TableIIIRow, len(jobs))
+	err := parallelFor(cfg.workers(), len(jobs), func(i int) error {
+		row, err := tableIIIRow(cfg, jobs[i].site, jobs[i].n)
+		if err != nil {
+			return err
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -261,33 +350,41 @@ type Fig7Series struct {
 
 // Fig7 regenerates the paper's Fig. 7: MAPE at N=48 versus D for every
 // site, with α swept and K fixed to the site's Table III optimum (the
-// paper plots at the optimised α/K).
+// paper plots at the optimised α/K). The curve is read straight out of
+// the grid-search cells — the exhaustive search already evaluated every
+// (α, D) at the optimal K — and sites run concurrently on the configured
+// worker pool.
 func Fig7(cfg Config, n int) ([]Fig7Series, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	out := make([]Fig7Series, 0, len(cfg.Sites))
-	for _, site := range cfg.Sites {
+	out := make([]Fig7Series, len(cfg.Sites))
+	err := parallelFor(cfg.workers(), len(cfg.Sites), func(i int) error {
+		site := cfg.Sites[i]
 		e, _, err := cfg.evalFor(site, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		k := res.Best.Params.K
-		curve, err := e.CurveOverD(cfg.Space.Ds, k, cfg.Space.Alphas, optimize.RefSlotMean)
-		if err != nil {
-			return nil, err
+		curve, ok := res.CurveOverD(cfg.Space.Ds, k)
+		if !ok {
+			return fmt.Errorf("experiments: %s N=%d: grid cells missing K=%d", site, n, k)
 		}
-		out = append(out, Fig7Series{
+		out[i] = Fig7Series{
 			Site:   site,
 			Ds:     cfg.Space.Ds,
 			MAPEs:  curve,
 			K:      k,
 			Alphas: cfg.Space.Alphas,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -316,43 +413,47 @@ func TableV(cfg Config) ([]TableVRow, error) {
 		return nil, err
 	}
 	grid := core.DynamicGrid{Alphas: cfg.Space.Alphas, Ks: cfg.Space.Ks}
-	var rows []TableVRow
-	for _, site := range cfg.Sites {
-		for _, n := range cfg.Ns {
-			row := TableVRow{Site: site, N: n}
-			deg, err := Degenerate(site, n)
-			if err != nil {
-				return nil, err
-			}
-			if deg {
-				row.Degenerate = true
-				row.KOnlyAlpha = 1
-				rows = append(rows, row)
-				continue
-			}
-			e, _, err := cfg.evalFor(site, n)
-			if err != nil {
-				return nil, err
-			}
-			res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
-			if err != nil {
-				return nil, err
-			}
-			dyn, err := e.DynamicEval(res.Best.Params.D, grid, res.Best, optimize.RefSlotMean)
-			if err != nil {
-				return nil, err
-			}
-			if err := dyn.Check(); err != nil {
-				return nil, fmt.Errorf("experiments: %s N=%d: %w", site, n, err)
-			}
-			row.Static = dyn.StaticMAPE
-			row.Both = dyn.BothMAPE
-			row.KOnly = dyn.KOnlyMAPE
-			row.KOnlyAlpha = dyn.KOnlyAlpha
-			row.AlphaOnly = dyn.AlphaOnlyMAPE
-			row.AlphaOnlyK = dyn.AlphaOnlyK
-			rows = append(rows, row)
+	jobs := crossSitesNs(cfg.Sites, cfg.Ns)
+	rows := make([]TableVRow, len(jobs))
+	err := parallelFor(cfg.workers(), len(jobs), func(i int) error {
+		site, n := jobs[i].site, jobs[i].n
+		row := TableVRow{Site: site, N: n}
+		deg, err := Degenerate(site, n)
+		if err != nil {
+			return err
 		}
+		if deg {
+			row.Degenerate = true
+			row.KOnlyAlpha = 1
+			rows[i] = row
+			return nil
+		}
+		e, _, err := cfg.evalFor(site, n)
+		if err != nil {
+			return err
+		}
+		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+		if err != nil {
+			return err
+		}
+		dyn, err := e.DynamicEval(res.Best.Params.D, grid, res.Best, optimize.RefSlotMean)
+		if err != nil {
+			return err
+		}
+		if err := dyn.Check(); err != nil {
+			return fmt.Errorf("experiments: %s N=%d: %w", site, n, err)
+		}
+		row.Static = dyn.StaticMAPE
+		row.Both = dyn.BothMAPE
+		row.KOnly = dyn.KOnlyMAPE
+		row.KOnlyAlpha = dyn.KOnlyAlpha
+		row.AlphaOnly = dyn.AlphaOnlyMAPE
+		row.AlphaOnlyK = dyn.AlphaOnlyK
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -445,27 +546,32 @@ func Guidelines(cfg Config, n int) ([]Guideline, error) {
 	if params.D > cfg.WarmupDays {
 		return nil, fmt.Errorf("experiments: guideline D=%d exceeds warm-up %d", params.D, cfg.WarmupDays)
 	}
-	var out []Guideline
-	for _, site := range cfg.Sites {
+	out := make([]Guideline, len(cfg.Sites))
+	err := parallelFor(cfg.workers(), len(cfg.Sites), func(i int) error {
+		site := cfg.Sites[i]
 		e, _, err := cfg.evalFor(site, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := e.EvaluateOnline(params, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Guideline{
+		out[i] = Guideline{
 			Site:          site,
 			N:             n,
 			OptimumMAPE:   res.Best.Report.MAPE,
 			GuidelineMAPE: rep.MAPE,
 			Penalty:       rep.MAPE - res.Best.Report.MAPE,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -497,25 +603,26 @@ func Baselines(cfg Config, n int, betas []float64) ([]BaselineRow, error) {
 	if len(betas) == 0 {
 		return nil, fmt.Errorf("experiments: no EWMA betas")
 	}
-	var rows []BaselineRow
-	for _, site := range cfg.Sites {
+	rows := make([]BaselineRow, len(cfg.Sites))
+	err := parallelFor(cfg.workers(), len(cfg.Sites), func(i int) error {
+		site := cfg.Sites[i]
 		e, _, err := cfg.evalFor(site, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := BaselineRow{Site: site, N: n, WCMA: res.Best.Report.MAPE, EWMA: math.Inf(1)}
 		for _, beta := range betas {
 			ew, err := core.NewEWMA(n, beta)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rep, err := e.EvaluateBaseline(ew, optimize.RefSlotMean)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if rep.MAPE < row.EWMA {
 				row.EWMA = rep.MAPE
@@ -524,32 +631,36 @@ func Baselines(cfg Config, n int, betas []float64) ([]BaselineRow, error) {
 		}
 		pers, err := core.NewPersistence(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := e.EvaluateBaseline(pers, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Persistence = rep.MAPE
 		prev, err := core.NewPreviousDay(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err = e.EvaluateBaseline(prev, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.PreviousDay = rep.MAPE
 		ar, err := core.NewSlotAR(n, 0.3, 0.995)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err = e.EvaluateBaseline(ar, optimize.RefSlotMean)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SlotAR = rep.MAPE
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

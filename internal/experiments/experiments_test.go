@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"solarpred/internal/optimize"
@@ -345,5 +346,71 @@ func TestBaselines(t *testing.T) {
 	}
 	if _, err := Baselines(cfg, 24, nil); err == nil {
 		t.Error("empty betas accepted")
+	}
+}
+
+// TestDriversWorkerCountInvariant pins the parallel drivers to their
+// sequential output: any worker count must produce identical rows in
+// identical order.
+func TestDriversWorkerCountInvariant(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	seqCfg := QuickConfig()
+	seqCfg.Workers = 1
+	parCfg := QuickConfig()
+	parCfg.Workers = 4
+
+	seqII, err := TableII(seqCfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parII, err := TableII(parCfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqII) != len(parII) {
+		t.Fatalf("TableII row counts differ: %d vs %d", len(seqII), len(parII))
+	}
+	for i := range seqII {
+		if seqII[i] != parII[i] {
+			t.Errorf("TableII row %d differs:\nseq: %+v\npar: %+v", i, seqII[i], parII[i])
+		}
+	}
+
+	seqIII, err := TableIII(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parIII, err := TableIII(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqIII {
+		if seqIII[i] != parIII[i] {
+			t.Errorf("TableIII row %d differs:\nseq: %+v\npar: %+v", i, seqIII[i], parIII[i])
+		}
+	}
+
+	seqV, err := TableV(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parV, err := TableV(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqV {
+		if seqV[i] != parV[i] {
+			t.Errorf("TableV row %d differs:\nseq: %+v\npar: %+v", i, seqV[i], parV[i])
+		}
+	}
+}
+
+func TestConfigWorkersValidation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative worker count accepted")
 	}
 }

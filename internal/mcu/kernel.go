@@ -40,6 +40,10 @@ type Kernel struct {
 
 	// etaMax is EtaMax in Q16.16, precomputed.
 	etaMax fp.Q
+	// thetas[i] is θ(i+1) = (i+1)/K in Q16.16, computed once at
+	// construction — on a real port this table lives in flash, so each
+	// window iteration pays one load instead of a fixed-point division.
+	thetas []fp.Q
 }
 
 // NewKernel creates the embedded kernel for n slots per day.
@@ -65,6 +69,10 @@ func NewKernel(n int, params core.Params) (*Kernel, error) {
 	}
 	for i := range k.hist {
 		k.hist[i] = make([]fp.Q, n)
+	}
+	k.thetas = make([]fp.Q, params.K)
+	for i := 1; i <= params.K; i++ {
+		k.thetas[i-1] = fp.Div(fp.FromInt(i), fp.FromInt(params.K))
 	}
 	return k, nil
 }
@@ -182,11 +190,12 @@ func (k *Kernel) Predict() (float64, error) {
 	n := k.curSlot - 1
 	K := k.params.K
 
-	// ΦK: weighted average of clamped ratios. θ(i) = i/K is precomputed
-	// at compile time on a real port, but the multiply by η is live.
+	// ΦK: weighted average of clamped ratios. θ(i) = i/K comes from the
+	// table precomputed at construction (flash on a real port; one load),
+	// but the multiply by η is live.
 	var num, den fp.Q
 	for i := 1; i <= K; i++ {
-		theta := fp.Div(fp.FromInt(i), fp.FromInt(K)) // precomputable; charged as load
+		theta := k.thetas[i-1]
 		k.ops.LoadStores++
 		slot := n - K + i
 		eta := fp.One

@@ -65,10 +65,21 @@ type Accumulator struct {
 // are counted but excluded from the averages. Use PeakThreshold to derive
 // the paper's 10 %-of-peak value.
 func NewAccumulator(threshold float64) (*Accumulator, error) {
-	if threshold < 0 || math.IsNaN(threshold) {
-		return nil, fmt.Errorf("metrics: threshold %v must be nonnegative", threshold)
+	a, err := MakeAccumulator(threshold)
+	if err != nil {
+		return nil, err
 	}
-	return &Accumulator{threshold: threshold}, nil
+	return &a, nil
+}
+
+// MakeAccumulator is the value-type variant of NewAccumulator, for
+// callers that keep accumulators in preallocated scratch slices (the
+// grid-search workers) instead of allocating one per evaluation.
+func MakeAccumulator(threshold float64) (Accumulator, error) {
+	if threshold < 0 || math.IsNaN(threshold) {
+		return Accumulator{}, fmt.Errorf("metrics: threshold %v must be nonnegative", threshold)
+	}
+	return Accumulator{threshold: threshold}, nil
 }
 
 // PeakThreshold returns fraction×peak, the absolute ROI cut-off.
@@ -99,6 +110,37 @@ func (a *Accumulator) Add(predicted, reference float64) {
 	if abs > a.maxAbsErr {
 		a.maxAbsErr = abs
 	}
+}
+
+// AddInROI scores one prediction the caller has already established to be
+// inside the region of interest (reference ≥ threshold and positive),
+// with the reciprocal of the reference hoisted out so a sweep over many
+// predictions sharing one reference pays for the division once. Apart
+// from computing |err|/ref as |err|·(1/ref) — an ulp-level difference —
+// it accumulates exactly like Add.
+func (a *Accumulator) AddInROI(predicted, reference, invReference float64) {
+	a.totalSeen++
+	err := reference - predicted
+	abs := math.Abs(err)
+	a.n++
+	a.sumAbsPct += abs * invReference
+	a.sumSq += err * err
+	a.sumAbs += abs
+	a.sumSigned += err
+	a.sumRef += reference
+	if abs > a.maxAbsErr {
+		a.maxAbsErr = abs
+	}
+}
+
+// AddOutsideROI records count samples excluded by the ROI filter in one
+// step, equivalent to count Add calls with a sub-threshold reference.
+func (a *Accumulator) AddOutsideROI(count int) {
+	if count < 0 {
+		return
+	}
+	a.totalSeen += count
+	a.outsideROI += count
 }
 
 // N returns the number of in-ROI samples contributing to the averages.

@@ -216,3 +216,58 @@ func TestSnapshotMatchesAccessors(t *testing.T) {
 		t.Error("snapshot diverges from accessors")
 	}
 }
+
+func TestAddInROIMatchesAdd(t *testing.T) {
+	// The hoisted-reciprocal fast path must agree with Add to float
+	// association tolerance on every statistic, and the bulk out-of-ROI
+	// counter must match per-sample exclusion.
+	slow, err := NewAccumulator(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := MakeAccumulator(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []float64{5, 80, 120, 0, 33, 250, 90}
+	refs := []float64{3, 100, 100, 9.9, 40, 200, 10}
+	outside := 0
+	for i := range preds {
+		slow.Add(preds[i], refs[i])
+		if refs[i] < 10 || refs[i] <= 0 {
+			outside++
+			continue
+		}
+		fast.AddInROI(preds[i], refs[i], 1/refs[i])
+	}
+	fast.AddOutsideROI(outside)
+	a, b := slow.Snapshot(), fast.Snapshot()
+	if a.Samples != b.Samples || a.OutsideROI != b.OutsideROI {
+		t.Fatalf("counts differ: %+v vs %+v", a, b)
+	}
+	if math.Abs(a.MAPE-b.MAPE) > 1e-12 || math.Abs(a.RMSE-b.RMSE) > 1e-12 ||
+		math.Abs(a.MAE-b.MAE) > 1e-12 || math.Abs(a.MBE-b.MBE) > 1e-12 ||
+		a.MaxAbsErr != b.MaxAbsErr {
+		t.Fatalf("statistics differ: %+v vs %+v", a, b)
+	}
+	if slow.TotalSeen() != fast.TotalSeen() {
+		t.Error("totalSeen differs")
+	}
+}
+
+func TestMakeAccumulatorValidation(t *testing.T) {
+	if _, err := MakeAccumulator(-1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := MakeAccumulator(math.NaN()); err == nil {
+		t.Error("NaN threshold accepted")
+	}
+}
+
+func TestAddOutsideROINegativeIgnored(t *testing.T) {
+	a, _ := MakeAccumulator(1)
+	a.AddOutsideROI(-5)
+	if a.TotalSeen() != 0 || a.OutsideROI() != 0 {
+		t.Error("negative count must be ignored")
+	}
+}

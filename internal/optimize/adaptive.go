@@ -65,6 +65,18 @@ func (e *Eval) AdaptiveEval(d int, cands []adaptive.Candidate, sel adaptive.Sele
 	losses := make([]float64, len(cands))
 	lossFloor := e.Threshold(ref) / 2 // keeps night losses O(1)
 
+	// Unlike the grid sweeps, a policy's state advances on every slot, so
+	// the loop cannot skip out-of-ROI sources — but it still shares the
+	// per-D η cache and θ tables across all candidates and slots.
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	e.fillEtas(sc, d, maxK)
+	thetaByK := make([][]float64, len(ks))
+	denByK := make([]float64, len(ks))
+	for i, k := range ks {
+		thetaByK[i], denByK[i] = buildThetas(make([]float64, k), k)
+	}
+
 	n := e.view.N
 	first, last := e.sourceRange()
 	res := &AdaptiveResult{Policy: sel.Name()}
@@ -74,7 +86,7 @@ func (e *Eval) AdaptiveEval(d int, cands []adaptive.Candidate, sel adaptive.Sele
 		pers := e.view.Start[t]
 		mu := e.mu(day, (t+1)%n, d)
 		for i, k := range ks {
-			conds[i] = mu * e.phi(t, d, k)
+			conds[i] = mu * e.phiCached(sc, t, k, thetaByK[i], denByK[i])
 		}
 		choice := sel.Choose()
 		if choice < 0 || choice >= len(cands) {

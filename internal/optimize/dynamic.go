@@ -42,7 +42,8 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 	if err := grid.Validate(); err != nil {
 		return nil, err
 	}
-	if err := e.checkConfig(d, grid.Ks[len(grid.Ks)-1]); err != nil {
+	kMax := maxOf(grid.Ks) // the grid need not be sorted
+	if err := e.checkConfig(d, kMax); err != nil {
 		return nil, err
 	}
 
@@ -64,17 +65,33 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 		perK[i] = newAcc()
 	}
 
+	// The clairvoyant selector only ever scores in-ROI predictions, so the
+	// oracle minimisation runs on the precomputed ROI index with the per-D
+	// η cache shared across every K of the grid, like the grid search.
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	e.fillEtas(sc, d, kMax)
+	if cap(sc.conds) < len(grid.Ks) {
+		sc.conds = make([]float64, len(grid.Ks))
+	}
+	conds := sc.conds[:len(grid.Ks)]
+	thetaByK := make([][]float64, len(grid.Ks))
+	denByK := make([]float64, len(grid.Ks))
+	for ki, k := range grid.Ks {
+		thetaByK[ki], denByK[ki] = buildThetas(make([]float64, k), k)
+	}
+
 	n := e.view.N
-	first, last := e.sourceRange()
-	conds := make([]float64, len(grid.Ks))
-	for t := first; t <= last; t++ {
+	roi := &e.roi[ref]
+	for i, t32 := range roi.ts {
+		t := int(t32)
 		day := t / n
 		pers := e.view.Start[t]
 		mu := e.mu(day, (t+1)%n, d)
 		for ki, k := range grid.Ks {
-			conds[ki] = mu * e.phi(t, d, k)
+			conds[ki] = mu * e.phiCached(sc, t, k, thetaByK[ki], denByK[ki])
 		}
-		refVal := e.reference(ref, t)
+		refVal, invRef := roi.ref[i], roi.invRef[i]
 
 		// Full adaptation: min error over the whole grid.
 		bestBoth := math.Inf(1)
@@ -87,7 +104,7 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 				}
 			}
 		}
-		both.Add(bestBothPred, refVal)
+		both.AddInROI(bestBothPred, refVal, invRef)
 
 		// K adapted at each fixed α.
 		for ai, a := range grid.Alphas {
@@ -99,7 +116,7 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 					best, bestPred = err, pred
 				}
 			}
-			perAlpha[ai].Add(bestPred, refVal)
+			perAlpha[ai].AddInROI(bestPred, refVal, invRef)
 		}
 
 		// α adapted at each fixed K.
@@ -112,8 +129,16 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 					best, bestPred = err, pred
 				}
 			}
-			perK[ki].Add(bestPred, refVal)
+			perK[ki].AddInROI(bestPred, refVal, invRef)
 		}
+	}
+	outside := roi.scored - len(roi.ts)
+	both.AddOutsideROI(outside)
+	for _, acc := range perAlpha {
+		acc.AddOutsideROI(outside)
+	}
+	for _, acc := range perK {
+		acc.AddOutsideROI(outside)
 	}
 
 	res := &DynamicResult{

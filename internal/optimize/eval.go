@@ -9,14 +9,27 @@
 //
 //   - the online path drives internal/core.Predictor slot by slot exactly
 //     as a deployed node would;
-//   - the vectorized path precomputes per-slot day prefix sums so that
-//     μD costs O(1) and the whole α sweep shares each ΦK computation.
-//     Grid search uses this path; it is two orders of magnitude faster.
+//   - the vectorized path is a precomputed, share-everything engine:
+//     μD costs O(1) via the slot view's per-slot prefix-sum columns, the
+//     region-of-interest filter is resolved once per evaluator so night
+//     slots are never evaluated at all, the brightness ratios η feeding
+//     ΦK are cached per history depth D and shared by every K and every α
+//     of a sweep, and all inner loops run on preallocated per-worker
+//     scratch (zero allocations per prediction). Grid search pulls whole
+//     D-blocks from a work channel so one η cache serves a (D, ×K, ×α)
+//     sub-grid. It is two to three orders of magnitude faster than the
+//     online path on grid-search workloads.
+//
+// The two paths agree to floating-point association tolerance (the fast
+// path hoists 1/reference out of the α loop and reuses cached quotients,
+// which differ from the online path's in the last ulp); the integration
+// tests pin the agreement at 1e-9 on MAPE.
 package optimize
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"solarpred/internal/core"
 	"solarpred/internal/metrics"
@@ -58,7 +71,8 @@ type Eval struct {
 	view *timeseries.SlotView
 	// prefix[(d)*N + j] for d in [0, days] is the sum of Start[d'*N+j]
 	// over d' < d: a per-slot prefix over days, so a D-day window sum is
-	// two lookups.
+	// two lookups. It aliases view.StartPrefix when the view carries its
+	// prefix columns (the normal case) and is built locally otherwise.
 	prefix []float64
 	// peakMean and peakStart are the trace peaks used for the ROI
 	// threshold under each reference kind.
@@ -72,6 +86,47 @@ type Eval struct {
 	// etaMax is the ΦK ratio clamp (default core.EtaMax); the ablation
 	// benches raise it to +Inf to measure what the clamp is worth.
 	etaMax float64
+	// roi caches, per reference kind, the scored source indices that pass
+	// the region-of-interest filter together with their reference values
+	// and reciprocals. Night and twilight slots — typically more than half
+	// of a year-long trace — are excluded once here instead of being
+	// re-filtered on every prediction of every sweep.
+	roi [2]roiIndex
+	// scratch pools per-worker sweep state (η caches, θ tables,
+	// accumulators) so repeated sweeps allocate nothing in steady state.
+	scratch sync.Pool
+}
+
+// roiIndex is the precomputed region-of-interest filter for one
+// reference kind.
+type roiIndex struct {
+	// ts are the flat source indices t (ascending) within the scored
+	// range whose reference value passes the ROI threshold.
+	ts []int32
+	// ref[i] is the reference value for ts[i]; invRef[i] its reciprocal.
+	ref    []float64
+	invRef []float64
+	// scored is the total number of scored sources (in and out of ROI).
+	scored int
+}
+
+// sweepScratch is the per-worker mutable state of the vectorized
+// evaluation engine. One scratch serves one (D, ×K, ×α) block at a time;
+// all buffers are reused across blocks and sweeps.
+type sweepScratch struct {
+	// etaSame[t] is the clamped brightness ratio η for source t computed
+	// against the μD window of t's own day; etaPrev[t] is the ratio
+	// against the window of the following day (the value a ΦK window
+	// reaching back across midnight needs). Both are valid for the
+	// history depth D they were last filled for.
+	etaSame []float64
+	etaPrev []float64
+	// thetas[i] is θ(i+1) = (i+1)/K for the current block's K.
+	thetas []float64
+	// accs are the per-α accumulators of the current block.
+	accs []metrics.Accumulator
+	// conds is DynamicEval's per-K conditioned-term buffer.
+	conds []float64
 }
 
 // Option customises evaluation.
@@ -97,7 +152,11 @@ func WithEtaMax(max float64) Option {
 	return func(e *Eval) { e.etaMax = max }
 }
 
-// NewEval prepares an evaluator for the slot view.
+// NewEval prepares an evaluator for the slot view. The evaluator
+// precomputes peaks, the region-of-interest index and (via the view's
+// prefix columns) windowed-mean state at construction; the view must not
+// be mutated afterwards — rebuild the evaluator after changing a view's
+// columns, or the precomputed state would describe the old data.
 func NewEval(view *timeseries.SlotView, opts ...Option) (*Eval, error) {
 	if view == nil || view.DaysCount == 0 {
 		return nil, fmt.Errorf("optimize: empty slot view")
@@ -124,14 +183,56 @@ func NewEval(view *timeseries.SlotView, opts ...Option) (*Eval, error) {
 	}
 	n := view.N
 	days := view.DaysCount
-	e.prefix = make([]float64, (days+1)*n)
-	for d := 0; d < days; d++ {
-		for j := 0; j < n; j++ {
-			e.prefix[(d+1)*n+j] = e.prefix[d*n+j] + view.Start[d*n+j]
+	if view.HasPrefix() {
+		e.prefix = view.StartPrefix
+	} else {
+		// Hand-assembled view without prefix columns: build a local copy
+		// rather than mutating a possibly shared view.
+		e.prefix = make([]float64, (days+1)*n)
+		for d := 0; d < days; d++ {
+			for j := 0; j < n; j++ {
+				e.prefix[(d+1)*n+j] = e.prefix[d*n+j] + view.Start[d*n+j]
+			}
 		}
 	}
+	for _, ref := range []RefKind{RefSlotMean, RefSlotStart} {
+		e.roi[ref] = e.buildROI(ref)
+	}
+	e.scratch.New = func() any { return e.newScratch() }
 	return e, nil
 }
+
+// buildROI resolves the region-of-interest filter for one reference kind
+// once: every later sweep iterates only the surviving indices.
+func (e *Eval) buildROI(ref RefKind) roiIndex {
+	first, last := e.sourceRange()
+	thr := e.Threshold(ref)
+	idx := roiIndex{scored: last - first + 1}
+	for t := first; t <= last; t++ {
+		rv := e.reference(ref, t)
+		if rv < thr || rv <= 0 {
+			continue
+		}
+		idx.ts = append(idx.ts, int32(t))
+		idx.ref = append(idx.ref, rv)
+		idx.invRef = append(idx.invRef, 1/rv)
+	}
+	return idx
+}
+
+// newScratch allocates a sweep scratch sized for the view.
+func (e *Eval) newScratch() *sweepScratch {
+	total := e.view.TotalSlots()
+	return &sweepScratch{
+		etaSame: make([]float64, total),
+		etaPrev: make([]float64, total),
+		thetas:  make([]float64, e.view.N),
+	}
+}
+
+// getScratch checks a scratch out of the pool; putScratch returns it.
+func (e *Eval) getScratch() *sweepScratch   { return e.scratch.Get().(*sweepScratch) }
+func (e *Eval) putScratch(sc *sweepScratch) { e.scratch.Put(sc) }
 
 // View returns the underlying slot view.
 func (e *Eval) View() *timeseries.SlotView { return e.view }
@@ -168,31 +269,133 @@ func (e *Eval) mu(d, j, D int) float64 {
 	return (e.prefix[d*n+j] - e.prefix[(d-D)*n+j]) / float64(D)
 }
 
-// phi computes ΦK for the prediction made after observing flat slot t
-// (source day d = t/N), matching core.Predictor.Phi including the
-// neutral-ratio fallback and previous-day wrap-around.
-func (e *Eval) phi(t, D, K int) float64 {
+// eta returns the clamped brightness ratio η for source index src scored
+// against the μD window of day d (which is src's own day for same-day
+// window slots, or the following day for window slots reached across
+// midnight), matching core.Predictor.Phi's neutral-ratio fallback.
+func (e *Eval) eta(src, d, D int) float64 {
+	mu := e.mu(d, src%e.view.N, D)
+	if mu <= core.MuEpsilon {
+		return 1
+	}
+	eta := e.view.Start[src] / mu
+	if eta > e.etaMax {
+		eta = e.etaMax
+	}
+	return eta
+}
+
+// fillEtas populates the scratch η caches for history depth D. etaSame is
+// filled for every scored source; etaPrev only for the last kMax−1 slots
+// of each day, the only sources a ΦK window can reach from the following
+// day. One fill serves every K ≤ kMax and every α evaluated at this D —
+// the sharing that makes grid search cheap.
+func (e *Eval) fillEtas(sc *sweepScratch, D, kMax int) {
 	n := e.view.N
-	d := t / n
-	var num, den float64
-	for i := 1; i <= K; i++ {
-		theta := float64(i) / float64(K)
-		src := t - K + i
-		eta := 1.0
-		if src >= 0 {
-			jj := src % n
-			mu := e.mu(d, jj, D)
-			if mu > core.MuEpsilon {
-				eta = e.view.Start[src] / mu
-				if eta > e.etaMax {
-					eta = e.etaMax
-				}
-			}
+	first, last := e.sourceRange()
+	firstDay, lastDay := first/n, last/n
+	for d := firstDay; d <= lastDay; d++ {
+		hi := (d+1)*n - 1
+		if hi > last {
+			hi = last
 		}
-		num += theta * eta
-		den += theta
+		for t := d * n; t <= hi; t++ {
+			sc.etaSame[t] = e.eta(t, d, D)
+		}
+	}
+	if kMax < 2 {
+		return
+	}
+	// Sources on day d−1 seen from day d's windows.
+	for d := firstDay; d <= lastDay; d++ {
+		row := (d - 1) * n
+		for j := n - kMax + 1; j < n; j++ {
+			sc.etaPrev[row+j] = e.eta(row+j, d, D)
+		}
+	}
+}
+
+// phiCached computes ΦK for source t from the scratch η caches: K
+// multiply-adds and one division, no history walks. thetas and den must
+// be the precomputed θ table and Σθ for this K, and the caches must have
+// been filled for the same D. It reproduces the online predictor's
+// accumulation order exactly.
+func (e *Eval) phiCached(sc *sweepScratch, t, K int, thetas []float64, den float64) float64 {
+	dayStart := (t / e.view.N) * e.view.N
+	var num float64
+	base := t - K
+	for i := 0; i < K; i++ {
+		src := base + 1 + i
+		eta := sc.etaSame[src]
+		if src < dayStart {
+			eta = sc.etaPrev[src]
+		}
+		num += thetas[i] * eta
 	}
 	return num / den
+}
+
+// buildThetas fills dst[:k] with the Eq. 5 weights θ(i) = i/k and
+// returns the slice together with Σθ, accumulated in the online
+// predictor's order. Every ΦK computation site shares this helper so the
+// weighting cannot drift between the grid, dynamic and adaptive paths.
+func buildThetas(dst []float64, k int) (thetas []float64, den float64) {
+	thetas = dst[:k]
+	for i := 1; i <= k; i++ {
+		th := float64(i) / float64(k)
+		thetas[i-1] = th
+		den += th
+	}
+	return thetas, den
+}
+
+// blockTables prepares the θ table, Σθ and per-α accumulators of one
+// (D, K) block in the scratch, allocation-free in steady state.
+func (e *Eval) blockTables(sc *sweepScratch, K int, nAlphas int, ref RefKind) (thetas []float64, den float64, err error) {
+	thetas, den = buildThetas(sc.thetas, K)
+	if cap(sc.accs) < nAlphas {
+		sc.accs = make([]metrics.Accumulator, nAlphas)
+	}
+	sc.accs = sc.accs[:nAlphas]
+	thr := e.Threshold(ref)
+	for i := range sc.accs {
+		acc, err := metrics.MakeAccumulator(thr)
+		if err != nil {
+			return nil, 0, err
+		}
+		sc.accs[i] = acc
+	}
+	return thetas, den, nil
+}
+
+// sweepBlock evaluates one (D, K) block for every α in alphas over the
+// precomputed ROI index, reusing the scratch η caches (which must have
+// been filled for D). The ΦK of each prediction is computed once and
+// shared by the whole α sweep; 1/reference is hoisted out of the α loop.
+func (e *Eval) sweepBlock(sc *sweepScratch, D, K int, alphas []float64, ref RefKind) ([]metrics.Report, error) {
+	thetas, den, err := e.blockTables(sc, K, len(alphas), ref)
+	if err != nil {
+		return nil, err
+	}
+	roi := &e.roi[ref]
+	n := e.view.N
+	for i, t32 := range roi.ts {
+		t := int(t32)
+		d := t / n
+		pers := e.view.Start[t]
+		cond := e.mu(d, (t+1)%n, D) * e.phiCached(sc, t, K, thetas, den)
+		refVal, invRef := roi.ref[i], roi.invRef[i]
+		for ai, a := range alphas {
+			sc.accs[ai].AddInROI(core.Combine(a, pers, cond), refVal, invRef)
+		}
+	}
+	outside := roi.scored - len(roi.ts)
+	out := make([]metrics.Report, len(alphas))
+	for ai := range sc.accs {
+		sc.accs[ai].AddOutsideROI(outside)
+		out[ai] = sc.accs[ai].Snapshot()
+	}
+	return out, nil
 }
 
 // sourceRange returns the first and last flat source indices t whose
@@ -210,45 +413,34 @@ func (e *Eval) sourceRange() (first, last int) {
 // SweepAlpha evaluates the configuration (D, K) for every α in alphas in
 // one pass, scoring each prediction's target against the chosen
 // reference. It returns one metrics.Report per α, index-aligned with
-// alphas.
+// alphas. The ΦK of each prediction is computed once from the per-D η
+// cache and shared across the whole α sweep.
 //
 // The warm-up must cover D days so the history window never underflows.
 func (e *Eval) SweepAlpha(D, K int, alphas []float64, ref RefKind) ([]metrics.Report, error) {
-	if err := e.checkConfig(D, K); err != nil {
+	if err := e.checkSweep(D, K, alphas); err != nil {
 		return nil, err
 	}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	e.fillEtas(sc, D, K)
+	return e.sweepBlock(sc, D, K, alphas, ref)
+}
+
+// checkSweep validates a (D, K, alphas) sweep request.
+func (e *Eval) checkSweep(D, K int, alphas []float64) error {
+	if err := e.checkConfig(D, K); err != nil {
+		return err
+	}
 	if len(alphas) == 0 {
-		return nil, fmt.Errorf("optimize: empty alpha sweep")
+		return fmt.Errorf("optimize: empty alpha sweep")
 	}
 	for _, a := range alphas {
 		if a < 0 || a > 1 || math.IsNaN(a) {
-			return nil, fmt.Errorf("optimize: alpha %.3f out of [0,1]", a)
+			return fmt.Errorf("optimize: alpha %.3f out of [0,1]", a)
 		}
 	}
-	accs := make([]*metrics.Accumulator, len(alphas))
-	for i := range accs {
-		acc, err := metrics.NewAccumulator(e.Threshold(ref))
-		if err != nil {
-			return nil, err
-		}
-		accs[i] = acc
-	}
-	n := e.view.N
-	first, last := e.sourceRange()
-	for t := first; t <= last; t++ {
-		d := t / n
-		pers := e.view.Start[t]
-		cond := e.mu(d, (t+1)%n, D) * e.phi(t, D, K)
-		refVal := e.reference(ref, t)
-		for i, a := range alphas {
-			accs[i].Add(core.Combine(a, pers, cond), refVal)
-		}
-	}
-	out := make([]metrics.Report, len(alphas))
-	for i, acc := range accs {
-		out[i] = acc.Snapshot()
-	}
-	return out, nil
+	return nil
 }
 
 // checkConfig validates a (D, K) configuration against the view and

@@ -2,8 +2,8 @@ package optimize
 
 import (
 	"fmt"
+	"math"
 	"runtime"
-	"sort"
 	"sync"
 
 	"solarpred/internal/core"
@@ -38,7 +38,7 @@ func (s Space) Validate() error {
 		return fmt.Errorf("optimize: search space must be non-empty in every dimension")
 	}
 	for _, a := range s.Alphas {
-		if a < 0 || a > 1 {
+		if a < 0 || a > 1 || math.IsNaN(a) {
 			return fmt.Errorf("optimize: space alpha %.3f out of [0,1]", a)
 		}
 	}
@@ -98,41 +98,60 @@ func (r *SearchResult) minWhere(keep func(Cell) bool) (Cell, bool) {
 	return best, found
 }
 
-// GridSearch exhaustively evaluates the space with the vectorized
-// evaluator, minimising the averaged error of the chosen reference kind.
-// (D, K) blocks are evaluated in parallel; the α sweep inside a block
-// shares the ΦK computations.
-//
-// Ties are broken deterministically toward smaller D, then smaller K,
-// then smaller α, so results are stable across runs and GOMAXPROCS.
-func (e *Eval) GridSearch(space Space, ref RefKind) (*SearchResult, error) {
+// checkSpace validates the space against the evaluator's warm-up and
+// slotting.
+func (e *Eval) checkSpace(space Space) error {
 	if err := space.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	for _, d := range space.Ds {
 		if err := e.checkConfig(d, space.Ks[0]); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, k := range space.Ks {
 		if err := e.checkConfig(space.Ds[0], k); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// maxOf returns the maximum of a non-empty int slice.
+func maxOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GridSearch exhaustively evaluates the space with the vectorized
+// evaluator, minimising the averaged error of the chosen reference kind.
+// A pool of workers pulls whole D-blocks — one history depth with every
+// (K, α) of the space — from a channel; each worker owns preallocated
+// scratch state, fills the η ratio cache once per D, and reuses it for
+// every K and α of the block, so the inner loops allocate nothing and
+// share everything that can be shared.
+//
+// Cells are returned D-major, then K, then α, and ties are broken
+// deterministically toward smaller D, then smaller K, then smaller α, so
+// results are identical across runs and GOMAXPROCS settings (the
+// per-cell arithmetic does not depend on the worker that ran it).
+func (e *Eval) GridSearch(space Space, ref RefKind) (*SearchResult, error) {
+	if err := e.checkSpace(space); err != nil {
+		return nil, err
 	}
 
-	type block struct{ d, k int }
-	blocks := make([]block, 0, len(space.Ds)*len(space.Ks))
-	for _, d := range space.Ds {
-		for _, k := range space.Ks {
-			blocks = append(blocks, block{d, k})
-		}
-	}
-	cells := make([][]Cell, len(blocks))
-	errs := make([]error, len(blocks))
+	kMax := maxOf(space.Ks)
+	reports := make([][][]metrics.Report, len(space.Ds)) // [di][ki][ai]
+	errs := make([]error, len(space.Ds))
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(blocks) {
-		workers = len(blocks)
+	if workers > len(space.Ds) {
+		workers = len(space.Ds)
 	}
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -140,26 +159,26 @@ func (e *Eval) GridSearch(space Space, ref RefKind) (*SearchResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
-				b := blocks[i]
-				reports, err := e.SweepAlpha(b.d, b.k, space.Alphas, ref)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				cs := make([]Cell, len(reports))
-				for ai, rep := range reports {
-					cs[ai] = Cell{
-						Params: core.Params{Alpha: space.Alphas[ai], D: b.d, K: b.k},
-						Report: rep,
+			sc := e.getScratch()
+			defer e.putScratch(sc)
+			for di := range work {
+				d := space.Ds[di]
+				e.fillEtas(sc, d, kMax)
+				perK := make([][]metrics.Report, len(space.Ks))
+				for ki, k := range space.Ks {
+					reps, err := e.sweepBlock(sc, d, k, space.Alphas, ref)
+					if err != nil {
+						errs[di] = err
+						break
 					}
+					perK[ki] = reps
 				}
-				cells[i] = cs
+				reports[di] = perK
 			}
 		}()
 	}
-	for i := range blocks {
-		work <- i
+	for di := range space.Ds {
+		work <- di
 	}
 	close(work)
 	wg.Wait()
@@ -169,29 +188,77 @@ func (e *Eval) GridSearch(space Space, ref RefKind) (*SearchResult, error) {
 			return nil, err
 		}
 	}
+	return assembleResult(space, reports), nil
+}
 
-	res := &SearchResult{Cells: make([]Cell, 0, space.Size())}
-	for _, cs := range cells {
-		res.Cells = append(res.Cells, cs...)
+// gridSearchSequential is the single-goroutine reference implementation
+// the parallel GridSearch is tested against: one SweepAlpha per (D, K)
+// block, assembled identically. Both paths run the same block arithmetic,
+// so their results must agree cell for cell, bit for bit.
+func (e *Eval) gridSearchSequential(space Space, ref RefKind) (*SearchResult, error) {
+	if err := e.checkSpace(space); err != nil {
+		return nil, err
 	}
-	// Deterministic ordering and tie-breaking.
-	sort.SliceStable(res.Cells, func(a, b int) bool {
-		pa, pb := res.Cells[a].Params, res.Cells[b].Params
-		if pa.D != pb.D {
-			return pa.D < pb.D
+	reports := make([][][]metrics.Report, len(space.Ds))
+	for di, d := range space.Ds {
+		reports[di] = make([][]metrics.Report, len(space.Ks))
+		for ki, k := range space.Ks {
+			reps, err := e.SweepAlpha(d, k, space.Alphas, ref)
+			if err != nil {
+				return nil, err
+			}
+			reports[di][ki] = reps
 		}
-		if pa.K != pb.K {
-			return pa.K < pb.K
+	}
+	return assembleResult(space, reports), nil
+}
+
+// assembleResult flattens per-(D,K,α) reports into the canonical D-major
+// cell ordering and selects the minimum-error cell with deterministic
+// tie-breaking (strict less-than over cells in order favours smaller D,
+// then K, then α).
+func assembleResult(space Space, reports [][][]metrics.Report) *SearchResult {
+	res := &SearchResult{Cells: make([]Cell, 0, space.Size())}
+	for di, d := range space.Ds {
+		for ki, k := range space.Ks {
+			for ai, rep := range reports[di][ki] {
+				res.Cells = append(res.Cells, Cell{
+					Params: core.Params{Alpha: space.Alphas[ai], D: d, K: k},
+					Report: rep,
+				})
+			}
 		}
-		return pa.Alpha < pb.Alpha
-	})
+	}
 	res.Best = res.Cells[0]
 	for _, c := range res.Cells[1:] {
 		if c.Report.MAPE < res.Best.Report.MAPE {
 			res.Best = c
 		}
 	}
-	return res, nil
+	return res
+}
+
+// CurveOverD extracts, from an already computed search result, the
+// minimum error over α for each requested D at the fixed K — the slice
+// the paper plots in Fig. 7 — without re-evaluating anything. It returns
+// false when some (d, k) combination is absent from the result's cells.
+func (r *SearchResult) CurveOverD(ds []int, k int) ([]float64, bool) {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		best := math.Inf(1)
+		found := false
+		for _, c := range r.Cells {
+			if c.Params.D == d && c.Params.K == k && c.Report.MAPE < best {
+				best = c.Report.MAPE
+				found = true
+			}
+		}
+		if !found {
+			return nil, false
+		}
+		out[i] = best
+	}
+	return out, true
 }
 
 // CurveOverD returns, for each D in ds, the minimum error over α at the

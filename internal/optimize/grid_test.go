@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"solarpred/internal/core"
@@ -94,6 +95,76 @@ func TestGridSearchDeterministic(t *testing.T) {
 		if a.Cells[i].Params != b.Cells[i].Params {
 			t.Fatal("cell ordering not deterministic")
 		}
+	}
+}
+
+// TestGridSearchMatchesSequentialReference pins the parallel worker-pool
+// GridSearch to the single-goroutine reference implementation: every cell
+// must be identical — parameters and full report, bit for bit — because
+// both paths run the same block arithmetic and assembly. Run under -race
+// this also exercises the pool's sharing of the evaluator and scratch.
+func TestGridSearchMatchesSequentialReference(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force real worker concurrency even on 1-CPU machines
+	defer runtime.GOMAXPROCS(prev)
+
+	view := testView(t, "ORNL", 40, 24)
+	e := newEval(t, view, WithWarmupDays(12))
+	space := Space{
+		Alphas: []float64{0, 0.25, 0.5, 0.75, 1},
+		Ds:     []int{2, 3, 5, 8, 12},
+		Ks:     []int{1, 2, 4, 6},
+	}
+	for _, ref := range []RefKind{RefSlotMean, RefSlotStart} {
+		par, err := e.GridSearch(space, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := e.gridSearchSequential(space, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Cells) != len(seq.Cells) {
+			t.Fatalf("%v: %d cells parallel vs %d sequential", ref, len(par.Cells), len(seq.Cells))
+		}
+		for i := range par.Cells {
+			if par.Cells[i] != seq.Cells[i] {
+				t.Fatalf("%v: cell %d differs:\nparallel:   %+v\nsequential: %+v",
+					ref, i, par.Cells[i], seq.Cells[i])
+			}
+		}
+		if par.Best != seq.Best {
+			t.Fatalf("%v: best differs: %+v vs %+v", ref, par.Best, seq.Best)
+		}
+	}
+}
+
+func TestSearchResultCurveOverD(t *testing.T) {
+	view := testView(t, "SPMD", 35, 24)
+	e := newEval(t, view, WithWarmupDays(12))
+	space := smallSpace()
+	res, err := e.GridSearch(space, RefSlotMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cell-extracted curve must equal the directly evaluated one.
+	direct, err := e.CurveOverD(space.Ds, 2, space.Alphas, RefSlotMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCells, ok := res.CurveOverD(space.Ds, 2)
+	if !ok {
+		t.Fatal("curve extraction failed for in-space K")
+	}
+	for i := range direct {
+		if direct[i] != fromCells[i] {
+			t.Errorf("D=%d: direct %v != cells %v", space.Ds[i], direct[i], fromCells[i])
+		}
+	}
+	if _, ok := res.CurveOverD(space.Ds, 99); ok {
+		t.Error("curve extraction for out-of-space K should fail")
+	}
+	if _, ok := res.CurveOverD([]int{99}, 2); ok {
+		t.Error("curve extraction for out-of-space D should fail")
 	}
 }
 
@@ -232,6 +303,14 @@ func TestDynamicEvalValidation(t *testing.T) {
 	}
 	if _, err := e.DynamicEval(11, core.DefaultDynamicGrid(), best, RefSlotMean); err == nil {
 		t.Error("D beyond warm-up accepted")
+	}
+	// The K bound must hold for the grid's maximum K even when the Ks
+	// slice is not sorted.
+	small := testView(t, "SPMD", 30, 4)
+	es := newEval(t, small, WithWarmupDays(10))
+	unsorted := core.DynamicGrid{Alphas: []float64{0.5}, Ks: []int{6, 2}}
+	if _, err := es.DynamicEval(5, unsorted, best, RefSlotMean); err == nil {
+		t.Error("unsorted grid with max K beyond N accepted")
 	}
 }
 

@@ -140,10 +140,14 @@ func TestPhiWithinClampBounds(t *testing.T) {
 	view := testView(t, "ORNL", 35, 24)
 	e := newEval(t, view, WithWarmupDays(10))
 	first, last := e.sourceRange()
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 	for _, d := range []int{2, 6, 10} {
 		for _, k := range []int{1, 3, 6} {
+			e.fillEtas(sc, d, k)
+			thetas, den := buildThetas(make([]float64, k), k)
 			for tt := first; tt <= last; tt += 7 {
-				phi := e.phi(tt, d, k)
+				phi := e.phiCached(sc, tt, k, thetas, den)
 				if phi < 0 || phi > core.EtaMax+1e-12 || math.IsNaN(phi) {
 					t.Fatalf("Phi(%d, D=%d, K=%d) = %v out of bounds", tt, d, k, phi)
 				}

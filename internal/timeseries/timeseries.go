@@ -138,6 +138,11 @@ func (s *Series) Decimate(resolutionMinutes int) (*Series, error) {
 // sample at the slot start — the value the on-line predictor measures —
 // and the mean power over the slot's M samples — the value against which
 // the paper's Eq. 7 error is computed.
+//
+// Slot additionally builds per-slot prefix-sum columns over the days, so
+// any D-day windowed mean (the predictor's μD, or a windowed slot mean)
+// costs two loads and a division instead of a D-term sum. The evaluation
+// engine in internal/optimize leans on these columns for its O(1) μD.
 type SlotView struct {
 	// N is the number of slots per day (the sampling rate of the
 	// prediction algorithm).
@@ -152,6 +157,12 @@ type SlotView struct {
 	Mean []float64
 	// SlotMinutes is the slot length T in minutes (the prediction horizon).
 	SlotMinutes int
+	// StartPrefix[d*N+j] for d ∈ [0, DaysCount] is the sum of Start[d'*N+j]
+	// over d' < d: a per-slot prefix over days. Built by Slot (or
+	// BuildPrefix for hand-assembled views); nil until then.
+	StartPrefix []float64
+	// MeanPrefix is the same per-slot prefix over the Mean column.
+	MeanPrefix []float64
 }
 
 // ErrSlotting is wrapped by slot-construction errors.
@@ -185,7 +196,48 @@ func (s *Series) Slot(n int) (*SlotView, error) {
 			v.Mean[d*n+j] = stats.Mean(seg)
 		}
 	}
+	v.BuildPrefix()
 	return v, nil
+}
+
+// BuildPrefix (re)computes the per-slot prefix-sum columns from Start and
+// Mean. Slot calls it automatically; call it manually after assembling a
+// SlotView by hand or mutating its columns. It is not safe to call
+// concurrently with readers of the same view.
+func (v *SlotView) BuildPrefix() {
+	n, days := v.N, v.DaysCount
+	if len(v.StartPrefix) != (days+1)*n {
+		v.StartPrefix = make([]float64, (days+1)*n)
+	}
+	if len(v.MeanPrefix) != (days+1)*n {
+		v.MeanPrefix = make([]float64, (days+1)*n)
+	}
+	for d := 0; d < days; d++ {
+		row, next := d*n, (d+1)*n
+		for j := 0; j < n; j++ {
+			v.StartPrefix[next+j] = v.StartPrefix[row+j] + v.Start[row+j]
+			v.MeanPrefix[next+j] = v.MeanPrefix[row+j] + v.Mean[row+j]
+		}
+	}
+}
+
+// HasPrefix reports whether the prefix-sum columns are present and sized
+// for the view.
+func (v *SlotView) HasPrefix() bool {
+	return len(v.StartPrefix) == (v.DaysCount+1)*v.N && len(v.MeanPrefix) == (v.DaysCount+1)*v.N
+}
+
+// WindowStartMean returns the mean of slot j's slot-start samples over
+// days [d−D, d) in O(1) — the predictor's μD(j) as seen from day d. The
+// caller must ensure 0 ≤ d−D and d ≤ DaysCount.
+func (v *SlotView) WindowStartMean(d, j, D int) float64 {
+	return (v.StartPrefix[d*v.N+j] - v.StartPrefix[(d-D)*v.N+j]) / float64(D)
+}
+
+// WindowSlotMean returns the mean of slot j's mean powers over days
+// [d−D, d) in O(1). The caller must ensure 0 ≤ d−D and d ≤ DaysCount.
+func (v *SlotView) WindowSlotMean(d, j, D int) float64 {
+	return (v.MeanPrefix[d*v.N+j] - v.MeanPrefix[(d-D)*v.N+j]) / float64(D)
 }
 
 // StartAt returns the slot-start sample for day d, slot j.

@@ -288,3 +288,61 @@ func TestResampleThenSlotConsistency(t *testing.T) {
 		}
 	}
 }
+
+func TestSlotBuildsPrefixColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	days, perDay := 6, 288
+	samples := make([]float64, days*perDay)
+	for i := range samples {
+		samples[i] = rng.Float64() * 900
+	}
+	s, err := New(5, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Slot(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.HasPrefix() {
+		t.Fatal("Slot must build the prefix columns")
+	}
+	// Every windowed mean must equal the direct D-term average.
+	for _, D := range []int{1, 2, 5} {
+		for d := D; d <= days; d++ {
+			for j := 0; j < v.N; j += 7 {
+				var sumS, sumM float64
+				for dd := d - D; dd < d; dd++ {
+					sumS += v.StartAt(dd, j)
+					sumM += v.MeanAt(dd, j)
+				}
+				if got, want := v.WindowStartMean(d, j, D), sumS/float64(D); math.Abs(got-want) > 1e-9*(1+want) {
+					t.Fatalf("WindowStartMean(%d,%d,%d) = %v, want %v", d, j, D, got, want)
+				}
+				if got, want := v.WindowSlotMean(d, j, D), sumM/float64(D); math.Abs(got-want) > 1e-9*(1+want) {
+					t.Fatalf("WindowSlotMean(%d,%d,%d) = %v, want %v", d, j, D, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPrefixOnHandAssembledView(t *testing.T) {
+	v := &SlotView{N: 2, M: 1, DaysCount: 3, SlotMinutes: 720,
+		Start: []float64{1, 2, 3, 4, 5, 6},
+		Mean:  []float64{1, 2, 3, 4, 5, 6},
+	}
+	if v.HasPrefix() {
+		t.Fatal("hand-assembled view should have no prefix yet")
+	}
+	v.BuildPrefix()
+	if !v.HasPrefix() {
+		t.Fatal("BuildPrefix did not size the columns")
+	}
+	if got := v.WindowStartMean(3, 0, 3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("WindowStartMean = %v, want 3", got)
+	}
+	if got := v.WindowSlotMean(2, 1, 2); math.Abs(got-3) > 1e-12 {
+		t.Errorf("WindowSlotMean = %v, want 3", got)
+	}
+}

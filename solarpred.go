@@ -109,12 +109,32 @@ func GenerateDays(site Site, n int) (*Series, error) { return dataset.GenerateDa
 type Report = metrics.Report
 
 // Evaluator scores predictors over a slotted trace under the paper's
-// methodology (days 21–365, samples ≥ 10 % of peak).
+// methodology (days 21–365, samples ≥ 10 % of peak). It is a
+// precomputed, share-everything engine: the slot view's per-slot
+// prefix-sum columns give O(1) windowed means, the region-of-interest
+// filter is resolved once at construction, and grid searches run on a
+// worker pool with per-worker scratch and per-D shared ΦK ratio caches —
+// see internal/optimize for the details.
 type Evaluator = optimize.Eval
 
 // NewEvaluator builds an evaluator for a slot view with the paper's
 // defaults (20 warm-up days, 10 % region of interest).
 func NewEvaluator(view *SlotView) (*Evaluator, error) { return optimize.NewEval(view) }
+
+// EvalOption customises an Evaluator (warm-up, ROI fraction, η clamp).
+type EvalOption = optimize.Option
+
+// NewEvaluatorOptions builds an evaluator with explicit options.
+func NewEvaluatorOptions(view *SlotView, opts ...EvalOption) (*Evaluator, error) {
+	return optimize.NewEval(view, opts...)
+}
+
+// WithWarmupDays overrides the evaluator's scoring warm-up (paper: 20).
+func WithWarmupDays(days int) EvalOption { return optimize.WithWarmupDays(days) }
+
+// WithROIFraction overrides the region-of-interest threshold fraction
+// (paper: 0.10 of the reference peak).
+func WithROIFraction(f float64) EvalOption { return optimize.WithROIFraction(f) }
 
 // RefKind selects the error definition: RefSlotMean is the paper's
 // Eq. 7 (score against the mean power of the slot being budgeted),
