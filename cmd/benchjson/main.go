@@ -21,6 +21,7 @@ import (
 
 	"solarpred/internal/core"
 	"solarpred/internal/experiments"
+	"solarpred/internal/expstore"
 	"solarpred/internal/optimize"
 )
 
@@ -34,6 +35,16 @@ type Result struct {
 	// *speed*.
 	Metric     float64 `json:"metric"`
 	MetricName string  `json:"metric_name"`
+	// ColdNsPerOp is the wall time of the first iteration — the one that
+	// performs this entry's cache misses. NsPerOp is the best iteration,
+	// typically fully warm; the gap between the two is what the store
+	// saves every driver after the first.
+	ColdNsPerOp float64 `json:"cold_ns_per_op"`
+	// Store holds the experiment-store hit/miss deltas this entry's
+	// iterations caused, so the trajectory shows cache effectiveness and
+	// not just ns/op. The first driver to need a tuple records the misses;
+	// repeat iterations and later drivers record hits.
+	Store *expstore.Stats `json:"store,omitempty"`
 }
 
 // Report is the whole emitted document.
@@ -63,27 +74,34 @@ func main() {
 	}
 }
 
-// timeBest runs fn iters times and returns the best wall time together
-// with fn's last metric value.
-func timeBest(iters int, fn func() (float64, error)) (time.Duration, float64, error) {
-	best := time.Duration(1<<63 - 1)
-	var metric float64
+// timeBest runs fn iters times and returns the best and the first wall
+// time together with fn's last metric value.
+func timeBest(iters int, fn func() (float64, error)) (best, first time.Duration, metric float64, err error) {
+	best = time.Duration(1<<63 - 1)
 	for i := 0; i < iters; i++ {
 		start := time.Now()
 		m, err := fn()
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
-		if d := time.Since(start); d < best {
+		d := time.Since(start)
+		if i == 0 {
+			first = d
+		}
+		if d < best {
 			best = d
 		}
 		metric = m
 	}
-	return best, metric, nil
+	return best, first, metric, nil
 }
 
 func run(path string, iters int) error {
 	cfg := experiments.QuickConfig()
+	// All drivers share one experiment store, like cmd/repro: the first
+	// iteration of the first driver computes each tuple, everything after
+	// is served from cache. The per-entry store deltas record exactly that.
+	cfg.Store = experiments.NewStore(cfg)
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -91,15 +109,20 @@ func run(path string, iters int) error {
 	}
 
 	add := func(name, metricName string, fn func() (float64, error)) error {
-		best, metric, err := timeBest(iters, fn)
+		before := cfg.Store.Stats()
+		best, first, metric, err := timeBest(iters, fn)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		delta := cfg.Store.Stats().Sub(before)
 		rep.Results = append(rep.Results, Result{
 			Name: name, Iters: iters, NsPerOp: float64(best.Nanoseconds()),
 			Metric: metric, MetricName: metricName,
+			ColdNsPerOp: float64(first.Nanoseconds()), Store: &delta,
 		})
-		fmt.Printf("%-24s %12.3f ms   %s=%.4f\n", name, best.Seconds()*1e3, metricName, metric)
+		fmt.Printf("%-24s %12.3f ms (cold %.3f)   %s=%.4f   grid %d/%d\n",
+			name, best.Seconds()*1e3, first.Seconds()*1e3, metricName, metric,
+			delta.Grid.Misses, delta.Grid.Hits+delta.Grid.Misses)
 		return nil
 	}
 

@@ -35,6 +35,10 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Workers = *workers
+	// One experiment store serves every driver of the run: each
+	// (site, N, space, ref) tuple is grid-searched exactly once, and every
+	// later table or figure that needs it reads the cached result.
+	cfg.Store = experiments.NewStore(cfg)
 	if err := run(cfg, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
@@ -235,7 +239,7 @@ func run(cfg experiments.Config, quick bool) error {
 	}
 	bsOne, err := experiments.Baselines(experiments.Config{
 		Sites: cfg.Sites[:1], Days: cfg.Days, WarmupDays: cfg.WarmupDays,
-		Ns: cfg.Ns, Space: cfg.Space,
+		Ns: cfg.Ns, Space: cfg.Space, Workers: cfg.Workers, Store: cfg.Store,
 	}, n48, []float64{0.1, 0.3, 0.5})
 	if err != nil {
 		return err
@@ -348,5 +352,14 @@ func run(cfg experiments.Config, quick bool) error {
 	}
 	fmt.Println(tm.String())
 	done()
+
+	if cfg.Store != nil {
+		st := cfg.Store.Stats()
+		fmt.Printf("experiment store: grid %d computed / %d served, eval %d/%d, view %d/%d, series %d/%d\n",
+			st.Grid.Misses, st.Grid.Hits+st.Grid.Misses,
+			st.Eval.Misses, st.Eval.Hits+st.Eval.Misses,
+			st.View.Misses, st.View.Hits+st.View.Misses,
+			st.Series.Misses, st.Series.Hits+st.Series.Misses)
+	}
 	return nil
 }

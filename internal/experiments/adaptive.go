@@ -84,7 +84,7 @@ func TableVI(cfg Config) ([]TableVIRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+			res, err := cfg.gridFor(e, site, n, optimize.RefSlotMean)
 			if err != nil {
 				return nil, err
 			}

@@ -14,6 +14,7 @@ import (
 
 	"solarpred/internal/core"
 	"solarpred/internal/dataset"
+	"solarpred/internal/expstore"
 	"solarpred/internal/metrics"
 	"solarpred/internal/optimize"
 	"solarpred/internal/timeseries"
@@ -37,6 +38,33 @@ type Config struct {
 	// index regardless of the worker count, so driver output is
 	// deterministic for any setting.
 	Workers int
+	// Store, when non-nil, memoises slot views, evaluators and grid-search
+	// results across every driver sharing it: each (site, N, space, ref)
+	// tuple is grid-searched exactly once per process, coarser slot views
+	// derive from finer cached ones through the resolution pyramid, and
+	// concurrent workers deduplicate via single flight. A nil Store makes
+	// every driver compute from scratch (the reference behaviour the
+	// equivalence tests pin the store against).
+	Store *expstore.Store
+}
+
+// NewStore builds an experiment store over the dataset generator, with
+// the configuration's sampling rates as the resolution-pyramid ladder.
+// Hand the same store to every Config of a process (repro-style multi
+// driver runs) to share one warm cache.
+func NewStore(cfg Config) *expstore.Store {
+	return expstore.New(func(site string, days int) (*timeseries.Series, error) {
+		s, err := dataset.SiteByName(site)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.GenerateDays(s, days)
+	}, cfg.Ns)
+}
+
+// evalOptions maps the configuration onto the store's evaluator keying.
+func (c Config) evalOptions() expstore.EvalOptions {
+	return expstore.EvalOptions{WarmupDays: c.WarmupDays}
 }
 
 // workers resolves the configured worker bound.
@@ -170,8 +198,11 @@ func (c Config) Validate() error {
 var traceCache sync.Map // key string -> *timeseries.Series
 
 // Trace returns the (cached) generated series for a site name at the
-// configured length.
+// configured length, from the experiment store when one is set.
 func (c Config) Trace(siteName string) (*timeseries.Series, error) {
+	if c.Store != nil {
+		return c.Store.Series(siteName, c.Days)
+	}
 	key := fmt.Sprintf("%s/%d", siteName, c.Days)
 	if v, ok := traceCache.Load(key); ok {
 		return v.(*timeseries.Series), nil
@@ -194,6 +225,13 @@ func (c Config) Trace(siteName string) (*timeseries.Series, error) {
 // would be M<1; in practice N=288 on 5-minute data gives M=1 which is
 // *defined* but degenerate — the caller decides how to report it).
 func (c Config) evalFor(siteName string, n int) (*optimize.Eval, *timeseries.SlotView, error) {
+	if c.Store != nil {
+		e, err := c.Store.Eval(siteName, c.Days, n, c.evalOptions())
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, e.View(), nil
+	}
 	series, err := c.Trace(siteName)
 	if err != nil {
 		return nil, nil, err
@@ -207,6 +245,18 @@ func (c Config) evalFor(siteName string, n int) (*optimize.Eval, *timeseries.Slo
 		return nil, nil, err
 	}
 	return e, view, nil
+}
+
+// gridFor returns the grid-search result for (site, n, ref): through the
+// store — computed once per process and shared by every driver — when one
+// is configured, or on the caller's evaluator (from evalFor, so one
+// evaluator serves every reference and follow-up study of a cell)
+// otherwise.
+func (c Config) gridFor(e *optimize.Eval, siteName string, n int, ref optimize.RefKind) (*optimize.SearchResult, error) {
+	if c.Store != nil {
+		return c.Store.Grid(siteName, c.Days, n, c.evalOptions(), c.Space, ref)
+	}
+	return e.GridSearch(c.Space, ref)
 }
 
 // Degenerate reports whether sampling rate n equals the site's recording
@@ -247,11 +297,11 @@ func TableII(cfg Config, n int) ([]TableIIRow, error) {
 		if err != nil {
 			return err
 		}
-		prime, err := e.GridSearch(cfg.Space, optimize.RefSlotStart)
+		prime, err := cfg.gridFor(e, site, n, optimize.RefSlotStart)
 		if err != nil {
 			return err
 		}
-		mean, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+		mean, err := cfg.gridFor(e, site, n, optimize.RefSlotMean)
 		if err != nil {
 			return err
 		}
@@ -326,7 +376,7 @@ func tableIIIRow(cfg Config, site string, n int) (TableIIIRow, error) {
 	if err != nil {
 		return row, err
 	}
-	res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+	res, err := cfg.gridFor(e, site, n, optimize.RefSlotMean)
 	if err != nil {
 		return row, err
 	}
@@ -365,7 +415,7 @@ func Fig7(cfg Config, n int) ([]Fig7Series, error) {
 		if err != nil {
 			return err
 		}
-		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+		res, err := cfg.gridFor(e, site, n, optimize.RefSlotMean)
 		if err != nil {
 			return err
 		}
@@ -432,7 +482,7 @@ func TableV(cfg Config) ([]TableVRow, error) {
 		if err != nil {
 			return err
 		}
-		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+		res, err := cfg.gridFor(e, site, n, optimize.RefSlotMean)
 		if err != nil {
 			return err
 		}
@@ -553,7 +603,7 @@ func Guidelines(cfg Config, n int) ([]Guideline, error) {
 		if err != nil {
 			return err
 		}
-		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+		res, err := cfg.gridFor(e, site, n, optimize.RefSlotMean)
 		if err != nil {
 			return err
 		}
@@ -610,7 +660,7 @@ func Baselines(cfg Config, n int, betas []float64) ([]BaselineRow, error) {
 		if err != nil {
 			return err
 		}
-		res, err := e.GridSearch(cfg.Space, optimize.RefSlotMean)
+		res, err := cfg.gridFor(e, site, n, optimize.RefSlotMean)
 		if err != nil {
 			return err
 		}

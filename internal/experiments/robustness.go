@@ -39,11 +39,10 @@ func Robustness(cfg Config, n int) ([]RobustnessRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cleanView, err := clean.Slot(n)
-		if err != nil {
-			return nil, err
-		}
-		cleanEval, err := optimize.NewEval(cleanView, optimize.WithWarmupDays(cfg.WarmupDays))
+		// The clean evaluator rides the store (its views and evaluators are
+		// the ones every other driver shares); the per-fault corrupted
+		// views below are one-off and stay uncached.
+		cleanEval, cleanView, err := cfg.evalFor(site, n)
 		if err != nil {
 			return nil, err
 		}
@@ -62,9 +61,13 @@ func Robustness(cfg Config, n int) ([]RobustnessRow, error) {
 			}
 			// Score the faulty predictor inputs against the clean
 			// references: Start comes from the corrupted trace, Mean
-			// from the clean one.
+			// from the clean one. Rebuild the prefix columns so they
+			// describe the hybrid's own columns (the copied MeanPrefix
+			// would otherwise describe the corrupted means).
 			hybrid := *faultyView
 			hybrid.Mean = cleanView.Mean
+			hybrid.StartPrefix, hybrid.MeanPrefix = nil, nil
+			hybrid.BuildPrefix()
 			eval, err := optimize.NewEval(&hybrid, optimize.WithWarmupDays(cfg.WarmupDays))
 			if err != nil {
 				return nil, err
