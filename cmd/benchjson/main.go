@@ -45,6 +45,12 @@ type Result struct {
 	// not just ns/op. The first driver to need a tuple records the misses;
 	// repeat iterations and later drivers record hits.
 	Store *expstore.Stats `json:"store,omitempty"`
+	// NsPerPred and PredsPerSec normalise NsPerOp by the number of
+	// individual predictions the entry scores, for entries that model the
+	// fleet-rate online path (OnlineK*). With the rolling ΦK window these
+	// must stay flat as K grows.
+	NsPerPred   float64 `json:"ns_per_pred,omitempty"`
+	PredsPerSec float64 `json:"preds_per_sec,omitempty"`
 }
 
 // Report is the whole emitted document.
@@ -108,22 +114,34 @@ func run(path string, iters int) error {
 		Timestamp:  time.Now().UTC(),
 	}
 
-	add := func(name, metricName string, fn func() (float64, error)) error {
+	addN := func(name, metricName string, preds int, fn func() (float64, error)) error {
+		// Collect previous entries' garbage outside the timed region, like
+		// testing.B, so one entry's allocations can't show up as another
+		// entry's cold time.
+		runtime.GC()
 		before := cfg.Store.Stats()
 		best, first, metric, err := timeBest(iters, fn)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		delta := cfg.Store.Stats().Sub(before)
-		rep.Results = append(rep.Results, Result{
+		r := Result{
 			Name: name, Iters: iters, NsPerOp: float64(best.Nanoseconds()),
 			Metric: metric, MetricName: metricName,
 			ColdNsPerOp: float64(first.Nanoseconds()), Store: &delta,
-		})
+		}
+		if preds > 0 {
+			r.NsPerPred = r.NsPerOp / float64(preds)
+			r.PredsPerSec = 1e9 / r.NsPerPred
+		}
+		rep.Results = append(rep.Results, r)
 		fmt.Printf("%-24s %12.3f ms (cold %.3f)   %s=%.4f   grid %d/%d\n",
 			name, best.Seconds()*1e3, first.Seconds()*1e3, metricName, metric,
 			delta.Grid.Misses, delta.Grid.Hits+delta.Grid.Misses)
 		return nil
+	}
+	add := func(name, metricName string, fn func() (float64, error)) error {
+		return addN(name, metricName, 0, fn)
 	}
 
 	if err := add("TableII", "MAPE", func() (float64, error) {
@@ -208,6 +226,33 @@ func run(path string, iters int) error {
 		return r.MAPE, nil
 	}); err != nil {
 		return err
+	}
+
+	// Fleet-rate online path at a finer grid (15-minute slots) across a
+	// spread of window sizes: with the rolling ΦK maintenance the
+	// per-prediction time must stay flat in K. Each entry scores every
+	// post-warmup slot of the trace once per iteration.
+	view96, err := trace.Slot(96)
+	if err != nil {
+		return err
+	}
+	eval96, err := optimize.NewEval(view96, optimize.WithWarmupDays(cfg.WarmupDays))
+	if err != nil {
+		return err
+	}
+	onlinePreds := view96.TotalSlots() - 1 - cfg.WarmupDays*view96.N
+	for _, kk := range []int{4, 16, 64} {
+		kk := kk
+		name := fmt.Sprintf("OnlineK%d", kk)
+		if err := addN(name, "MAPE", onlinePreds, func() (float64, error) {
+			r, err := eval96.EvaluateOnline(core.Params{Alpha: 0.7, D: 10, K: kk}, optimize.RefSlotMean)
+			if err != nil {
+				return 0, err
+			}
+			return r.MAPE, nil
+		}); err != nil {
+			return err
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -109,6 +109,22 @@ type Predictor struct {
 	// order muD historically did, so predictions are bit-identical to the
 	// naive implementation.
 	muTable []float64
+
+	// Rolling ΦK window state. Because θ(i) = i/K is linear in the window
+	// position, ΦK needs only two running sums: phiP = Ση over the last K
+	// ratios and phiW = Σ i·η with i = 1 for the oldest ratio up to K for
+	// the newest, giving Φ = (W/K)/Σθ. Observe slides both in O(1)
+	// (W ← W − P + K·η_new, P ← P − η_old + η_new); etaRing holds the
+	// resident ratios so the evicted η_old is known, with
+	// etaRing[ringPos] the oldest. rollDay rebuilds the window against
+	// the refreshed μD table — an O(K) resync once per day that also
+	// bounds the slide's floating-point drift to one day of accumulation.
+	// phiDen caches Σθ accumulated in the direct walk's order.
+	etaRing []float64
+	ringPos int
+	phiP    float64
+	phiW    float64
+	phiDen  float64
 }
 
 // New creates a Predictor for n slots per day with the given parameters.
@@ -129,10 +145,15 @@ func New(n int, params Params) (*Predictor, error) {
 		cur:     make([]float64, n),
 		prev:    make([]float64, n),
 		muTable: make([]float64, n),
+		etaRing: make([]float64, params.K),
 	}
 	for i := range p.hist {
 		p.hist[i] = make([]float64, n)
 	}
+	for i := 1; i <= params.K; i++ {
+		p.phiDen += float64(i) / float64(params.K)
+	}
+	p.resetPhiWindow()
 	return p, nil
 }
 
@@ -167,7 +188,50 @@ func (p *Predictor) Observe(slot int, power float64) error {
 	}
 	p.cur[slot] = power
 	p.curSlot = slot + 1
+	p.slidePhi(etaFor(power, p.muTable[slot]))
 	return nil
+}
+
+// etaFor computes the clamped brightness ratio of a measurement against
+// its slot's μD, with the same neutral night-slot fallback as the direct
+// window walk in phiAt.
+func etaFor(meas, mu float64) float64 {
+	if mu <= MuEpsilon {
+		return 1
+	}
+	eta := meas / mu
+	if eta > EtaMax {
+		eta = EtaMax
+	}
+	return eta
+}
+
+// slidePhi advances the rolling ΦK window by one observed slot: the new
+// ratio enters at weight K while every resident ratio's weight drops by
+// one (W sheds P — which still contains the evicted oldest ratio at
+// weight one — and gains K·η_new), then P swaps the oldest ratio for
+// the new one.
+func (p *Predictor) slidePhi(eta float64) {
+	k := p.params.K
+	p.phiW += float64(k)*eta - p.phiP
+	p.phiP += eta - p.etaRing[p.ringPos]
+	p.etaRing[p.ringPos] = eta
+	p.ringPos++
+	if p.ringPos == k {
+		p.ringPos = 0
+	}
+}
+
+// resetPhiWindow restores the rolling window to its initial all-neutral
+// state (η = 1, the ratio unavailable history contributes).
+func (p *Predictor) resetPhiWindow() {
+	p.ringPos = 0
+	p.phiP, p.phiW = 0, 0
+	for i := 1; i <= p.params.K; i++ {
+		p.etaRing[i-1] = 1
+		p.phiP++
+		p.phiW += float64(i)
+	}
 }
 
 // rollDay moves the completed current day into the history ring and
@@ -191,6 +255,19 @@ func (p *Predictor) rollDay() {
 			sum += p.hist[r][j]
 		}
 		p.muTable[j] = sum / days
+	}
+	// Resync the rolling ΦK window: the μD table just changed, so the η
+	// ratios of the last K observed slots (the tail of the day that just
+	// rolled into prev) must be recomputed against the new history.
+	k := p.params.K
+	p.ringPos = 0
+	p.phiP, p.phiW = 0, 0
+	for i := 1; i <= k; i++ {
+		slot := p.n - k + i - 1
+		eta := etaFor(p.prev[slot], p.muTable[slot])
+		p.etaRing[i-1] = eta
+		p.phiP += eta
+		p.phiW += float64(i) * eta
 	}
 }
 
@@ -222,10 +299,32 @@ func (p *Predictor) currentOrPrev(j int) (float64, bool) {
 }
 
 // Phi computes the conditioning factor ΦK for a prediction made after
-// observing slot n (zero-based). It is exported for white-box tests and
-// the fixed-point cross-validation in internal/mcu.
+// observing slot n (zero-based). For the live edge — n being the last
+// observed slot, the only n Predict ever evaluates — it returns the
+// rolling-window value maintained by Observe in O(1) instead of the
+// O(K) walk; any other n falls back to the direct walk. It is exported
+// for white-box tests and the fixed-point cross-validation in
+// internal/mcu.
 func (p *Predictor) Phi(n int) float64 {
-	k := p.params.K
+	if p.curSlot > 0 && n == p.curSlot-1 {
+		return p.phiRolling()
+	}
+	return p.phiAt(n, p.params.K)
+}
+
+// phiRolling evaluates the maintained window: Φ = (W/K)/Σθ. It differs
+// from phiAt only by floating-point association (Σ(i/K)·η versus
+// (Σ i·η)/K), bounded by the once-per-day resync in rollDay.
+func (p *Predictor) phiRolling() float64 {
+	return p.phiW / float64(p.params.K) / p.phiDen
+}
+
+// phiAt computes ΦK at an arbitrary window size k by the direct Eq. 3
+// walk — the O(k) reference implementation the rolling path is verified
+// against, and the evaluation Terms uses for non-configured k. It only
+// reads predictor state, so concurrent callers are safe as long as no
+// Observe runs.
+func (p *Predictor) phiAt(n, k int) float64 {
 	var num, den float64
 	for i := 1; i <= k; i++ {
 		theta := float64(i) / float64(k)
@@ -265,7 +364,7 @@ func (p *Predictor) Predict() (float64, error) {
 	n := p.curSlot - 1 // last observed slot
 	next := (n + 1) % p.n
 	mu := p.muD(next)
-	phi := p.Phi(n)
+	phi := p.phiRolling()
 	alpha := p.params.Alpha
 	pred := alpha*p.cur[n] + (1-alpha)*mu*phi
 	if pred < 0 {
@@ -294,6 +393,10 @@ func (p *Predictor) PredictWith(alpha float64, k int) (float64, error) {
 // ẽ(n) and the conditioned average μD(n+1)·ΦK. A prediction for any α is
 // then α·pers + (1−α)·cond, letting callers sweep α without recomputing
 // ΦK. D is fixed by construction.
+//
+// k is threaded explicitly down to the window walk — Terms never
+// mutates the predictor, so any number of concurrent readers may call
+// it (and Phi, Predict, PredictWith) between Observes.
 func (p *Predictor) Terms(k int) (pers, cond float64, err error) {
 	if p.curSlot == 0 {
 		return 0, 0, fmt.Errorf("core: no observation yet for the current day")
@@ -301,11 +404,13 @@ func (p *Predictor) Terms(k int) (pers, cond float64, err error) {
 	if k < 1 || k > p.n {
 		return 0, 0, fmt.Errorf("core: K %d out of range [1,%d]", k, p.n)
 	}
-	saved := p.params.K
-	p.params.K = k
 	n := p.curSlot - 1
-	phi := p.Phi(n)
-	p.params.K = saved
+	var phi float64
+	if k == p.params.K {
+		phi = p.phiRolling() // the maintained window is exactly this k
+	} else {
+		phi = p.phiAt(n, k)
+	}
 	next := (n + 1) % p.n
 	return p.cur[n], p.muD(next) * phi, nil
 }
@@ -334,4 +439,5 @@ func (p *Predictor) Reset() {
 	}
 	p.histNext, p.histDays, p.curSlot = 0, 0, 0
 	p.prevValid = false
+	p.resetPhiWindow()
 }

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestRollingPhiMatchesDirectWalk drives a predictor over several noisy
+// days and checks after every observation that the O(1) rolling ΦK
+// equals the direct O(K) window walk within association tolerance (the
+// two orders differ only by Σ(i/K)·η versus (Σ i·η)/K, resynced daily).
+func TestRollingPhiMatchesDirectWalk(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 6, 12, 24} {
+		p, err := New(24, Params{Alpha: 0.5, D: 4, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		for day := 0; day < 8; day++ {
+			for slot := 0; slot < 24; slot++ {
+				power := rng.Float64() * 1000
+				if slot < 5 || slot > 19 || rng.Intn(6) == 0 {
+					power = 0 // night and dropout slots: μ ≤ ε neutral path
+				}
+				if err := p.Observe(slot, power); err != nil {
+					t.Fatal(err)
+				}
+				got := p.Phi(slot)
+				want := p.phiAt(slot, k)
+				if math.Abs(got-want) > 1e-9*(EtaMax+1) {
+					t.Fatalf("K=%d day=%d slot=%d: rolling Φ %v, direct %v", k, day, slot, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTermsConcurrentReaders locks in the Terms fix: any number of
+// concurrent readers may interleave Terms/Phi/Predict/PredictWith calls
+// between observations (run with -race). Before the fix Terms mutated
+// p.params.K around the Phi call, racing readers against each other.
+func TestTermsConcurrentReaders(t *testing.T) {
+	const n = 24
+	p, err := New(n, Params{Alpha: 0.7, D: 3, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for day := 0; day < 5; day++ {
+		for slot := 0; slot < n; slot++ {
+			if err := p.Observe(slot, rng.Float64()*800); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p.Observe(0, 321); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential ground truth per window size.
+	type terms struct{ pers, cond float64 }
+	want := map[int]terms{}
+	for k := 1; k <= n; k++ {
+		pers, cond, err := p.Terms(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = terms{pers, cond}
+	}
+	wantPred, err := p.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := 1 + (g+i)%n
+				pers, cond, err := p.Terms(k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if w := want[k]; pers != w.pers || cond != w.cond {
+					t.Errorf("Terms(%d) = (%v, %v) under concurrency, want (%v, %v)",
+						k, pers, cond, w.pers, w.cond)
+					return
+				}
+				if pred, err := p.Predict(); err != nil || pred != wantPred {
+					t.Errorf("Predict = (%v, %v) under concurrency, want %v", pred, err, wantPred)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The configured K must never be left dirty by Terms.
+	if p.Params().K != 4 {
+		t.Fatalf("Terms left params.K = %d", p.Params().K)
+	}
+}
+
+// FuzzRollingPhi fuzzes the rolling ΦK maintenance against the direct
+// Eq. 3 walk over arbitrary observation streams: random geometry (N, K,
+// D), night runs, day-boundary resyncs and rejected inputs. NaN,
+// negative and infinite draws must be rejected by Observe without
+// perturbing the window — the fuzz substitutes a zero observation (a
+// night sample) and continues, so rejected inputs also double as
+// window-neutrality probes.
+func FuzzRollingPhi(f *testing.F) {
+	f.Add(uint8(24), uint8(4), uint8(3), uint8(6), int64(1), uint8(20), uint8(10))
+	f.Add(uint8(2), uint8(0), uint8(0), uint8(1), int64(2), uint8(0), uint8(0))
+	f.Add(uint8(12), uint8(11), uint8(7), uint8(3), int64(3), uint8(49), uint8(90))
+	f.Fuzz(func(t *testing.T, nSel, kSel, dSel, daysSel uint8, seed int64, nanPM, negPM uint8) {
+		n := 2 + int(nSel)%23 // 2..24 slots/day
+		k := 1 + int(kSel)%n  // 1..n
+		d := 1 + int(dSel)%10 // history depth
+		days := 1 + int(daysSel)%8
+		p, err := New(n, Params{Alpha: 0.3, D: d, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for day := 0; day < days; day++ {
+			for slot := 0; slot < n; slot++ {
+				power := rng.Float64() * 1200
+				switch {
+				case rng.Intn(1000) < int(nanPM)%50:
+					if err := p.Observe(slot, math.NaN()); err == nil {
+						t.Fatal("NaN observation accepted")
+					}
+					power = 0
+				case rng.Intn(1000) < int(negPM)%200:
+					if err := p.Observe(slot, -power); err == nil {
+						t.Fatal("negative observation accepted")
+					}
+					power = 0
+				case rng.Intn(5) == 0:
+					power = 0 // night slot: μD decays to ≤ ε, neutral η
+				}
+				if err := p.Observe(slot, power); err != nil {
+					t.Fatal(err)
+				}
+				got := p.Phi(slot)
+				want := p.phiAt(slot, k)
+				if math.Abs(got-want) > 1e-9*(EtaMax+1) {
+					t.Fatalf("n=%d K=%d D=%d day=%d slot=%d: rolling Φ %v, direct %v",
+						n, k, d, day, slot, got, want)
+				}
+				if pers, cond, err := p.Terms(k); err != nil || math.IsNaN(pers) || math.IsNaN(cond) {
+					t.Fatalf("Terms(%d) = (%v, %v, %v)", k, pers, cond, err)
+				}
+			}
+		}
+		// Reset restores the all-neutral window.
+		p.Reset()
+		if err := p.Observe(0, 100); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := p.Phi(0), p.phiAt(0, k); math.Abs(got-want) > 1e-9*(EtaMax+1) {
+			t.Fatalf("after Reset: rolling Φ %v, direct %v", got, want)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package mcu
+
+import (
+	"solarpred/internal/core"
+	fp "solarpred/internal/fixedpoint"
+)
+
+// NewRollingKernel creates the rolling-ΦK variant of the embedded
+// kernel: Observe maintains the window sums P = Ση and W = Σ i·η in
+// Q16.16 (two adds, two subtracts and one multiply per sample, charged
+// to ObserveOps), and Predict reduces to Φ = W/(K·Σθ) — one division
+// regardless of K. This is the fleet-rate design point; the direct
+// NewKernel keeps the paper's O(K) prediction loop so its measured cost
+// shape (Table IV) stays reproducible, and the two are cross-validated
+// numerically in tests.
+//
+// The Q16.16 updates are exact — adds and subtracts never round, and
+// i·η multiplies an integer by a ratio so no fractional bits are lost —
+// which means the rolling window cannot drift; the once-per-day resync
+// in rollDay exists because the μD table (hence every resident η)
+// changes at the day boundary, exactly like the float predictor's.
+func NewRollingKernel(n int, params core.Params) (*Kernel, error) {
+	k, err := NewKernel(n, params)
+	if err != nil {
+		return nil, err
+	}
+	k.rolling = true
+	k.etaRing = make([]fp.Q, params.K)
+	var den fp.Q
+	for _, th := range k.thetas {
+		den = fp.Add(den, th)
+	}
+	k.kQ = fp.FromInt(params.K)
+	k.kden = fp.Mul(k.kQ, den)
+	k.resetRolling()
+	return k, nil
+}
+
+// Rolling reports whether this kernel maintains the rolling ΦK window.
+func (k *Kernel) Rolling() bool { return k.rolling }
+
+// etaQ computes the clamped Q16.16 brightness ratio with the same
+// neutral fallback as the direct prediction loop: below Q16.16
+// resolution the quotient is meaningless, so the ratio is 1.
+func (k *Kernel) etaQ(meas, mu fp.Q) fp.Q {
+	k.observeOps.Cmps++
+	if mu <= muEpsilonQ {
+		return fp.One
+	}
+	eta := fp.Div(meas, mu)
+	k.observeOps.Divs++
+	k.observeOps.Cmps++
+	if eta > k.etaMax {
+		eta = k.etaMax
+	}
+	return eta
+}
+
+// slideRolling advances the window past the sample just stored in
+// cur[slot]: the new ratio enters at weight K while every resident
+// ratio's weight drops by one (W sheds P — which still holds the
+// evicted oldest ratio at weight one — and gains K·η_new), then P swaps
+// the oldest ratio for the new one. All charged to ObserveOps: the
+// rolling design moves the ΦK work from the prediction to the sampling
+// interrupt, where it is O(1).
+func (k *Kernel) slideRolling(slot int) {
+	k.observeOps.LoadStores++ // μD table
+	eta := k.etaQ(k.cur[slot], k.muTable[slot])
+	k.phiW = fp.Add(fp.Sub(k.phiW, k.phiP), fp.Mul(k.kQ, eta))
+	k.phiP = fp.Add(fp.Sub(k.phiP, k.etaRing[k.ringPos]), eta)
+	k.etaRing[k.ringPos] = eta
+	k.observeOps.Muls++
+	k.observeOps.Adds += 2
+	k.observeOps.Subs += 2
+	k.observeOps.LoadStores += 2 // ring read + write
+	k.ringPos++
+	if k.ringPos == k.params.K {
+		k.ringPos = 0
+	}
+}
+
+// resyncRolling rebuilds the window from the tail of the day that just
+// rolled into prev: the μD table has changed, so every resident ratio
+// must be recomputed against the new history. O(K) once per day,
+// charged to the day-roll Observe like the μD refresh itself.
+func (k *Kernel) resyncRolling() {
+	K := k.params.K
+	k.ringPos = 0
+	k.phiP, k.phiW = 0, 0
+	for i := 1; i <= K; i++ {
+		slot := k.n - K + i - 1
+		k.observeOps.LoadStores += 2 // prev sample + μD table
+		eta := k.etaQ(k.prev[slot], k.muTable[slot])
+		k.etaRing[i-1] = eta
+		k.phiP = fp.Add(k.phiP, eta)
+		k.phiW = fp.Add(k.phiW, fp.Mul(fp.FromInt(i), eta))
+		k.observeOps.Muls++
+		k.observeOps.Adds += 2
+		k.observeOps.LoadStores++ // ring write
+	}
+}
+
+// resetRolling restores the all-neutral initial window (η = 1, the
+// ratio unavailable history contributes), without charging any counter.
+func (k *Kernel) resetRolling() {
+	k.ringPos = 0
+	k.phiP, k.phiW = 0, 0
+	for i := 1; i <= k.params.K; i++ {
+		k.etaRing[i-1] = fp.One
+		k.phiP = fp.Add(k.phiP, fp.One)
+		k.phiW = fp.Add(k.phiW, fp.FromInt(i))
+	}
+}
+
+// TypicalRollingObserveCounter returns the steady-state per-sample
+// operation counts of the rolling kernel's Observe on a non-day-roll,
+// daylight slot (μ above resolution, so the ratio division happens):
+// the sample store, the μD load, the ratio division and clamp, and the
+// five exact window updates. Independent of every parameter.
+func TypicalRollingObserveCounter() Counter {
+	var c Counter
+	c.LoadStores++    // sample store
+	c.LoadStores++    // μD table load
+	c.Cmps++          // μ > ε
+	c.Divs++          // η
+	c.Cmps++          // η clamp
+	c.Muls++          // K·η
+	c.Adds += 2       // W, P updates
+	c.Subs += 2       // W, P updates
+	c.LoadStores += 2 // ring read + write
+	return c
+}
+
+// TypicalRollingPredictionCounter returns the operation counts of a
+// rolling-kernel prediction: one state load and one division for Φ, the
+// μD lookup of the target slot, the μ·Φ multiply and the Eq. 1
+// combination — no term depends on K, the flat cost profile the direct
+// kernel's TypicalPredictionCounter grows linearly from.
+func TypicalRollingPredictionCounter(params core.Params) Counter {
+	var c Counter
+	c.Calls++
+	c.LoadStores++ // W
+	c.Divs++       // Φ = W/(K·Σθ)
+	c.LoadStores++ // μD(next)
+	c.Muls++       // μ·Φ
+	switch params.Alpha {
+	case 0:
+		// conditioned term only
+	case 1:
+		c.LoadStores++
+	default:
+		c.Muls += 2
+		c.Subs++
+		c.Adds++
+		c.LoadStores++
+	}
+	c.Cmps++ // nonnegativity clamp
+	return c
+}

@@ -1,0 +1,160 @@
+package mcu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"solarpred/internal/core"
+)
+
+// TestRollingKernelMatchesDirectKernel cross-validates the two kernel
+// variants numerically: same Q16.16 format, same η clamp and neutral
+// fallback, differing only by the Σθ·η versus (Σ i·η)/K association —
+// predictions must track closely over noisy multi-day streams.
+func TestRollingKernelMatchesDirectKernel(t *testing.T) {
+	for _, params := range []core.Params{
+		{Alpha: 0.7, D: 5, K: 1},
+		{Alpha: 0.7, D: 5, K: 3},
+		{Alpha: 0.3, D: 2, K: 6},
+		{Alpha: 0, D: 4, K: 12},
+		{Alpha: 1, D: 3, K: 2},
+	} {
+		const n = 12
+		direct, err := NewKernel(n, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roll, err := NewRollingKernel(n, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !roll.Rolling() || direct.Rolling() {
+			t.Fatal("Rolling flag")
+		}
+		rng := rand.New(rand.NewSource(int64(params.K)))
+		for d := 0; d < 8; d++ {
+			for j := 0; j < n; j++ {
+				base := 1000 * math.Sin(math.Pi*float64(j)/float64(n))
+				if base < 0 {
+					base = 0
+				}
+				v := base * (0.7 + 0.6*rng.Float64())
+				if err := direct.Observe(j, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := roll.Observe(j, v); err != nil {
+					t.Fatal(err)
+				}
+				pd, err := direct.Predict()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pr, err := roll.Predict()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel := math.Abs(pd-pr) / (1 + pd); rel > 0.01 {
+					t.Fatalf("%+v day %d slot %d: direct %v vs rolling %v", params, d, j, pd, pr)
+				}
+			}
+		}
+	}
+}
+
+// TestRollingCountersMatchLive pins the closed-form cost accounting of
+// the rolling kernel against the live counters, for both the steady-
+// state Observe (where the rolling update is charged) and the flat
+// Predict.
+func TestRollingCountersMatchLive(t *testing.T) {
+	for _, params := range []core.Params{
+		{Alpha: 0.7, D: 4, K: 1},
+		{Alpha: 0.7, D: 4, K: 3},
+		{Alpha: 0.0, D: 4, K: 2},
+		{Alpha: 1.0, D: 4, K: 2},
+	} {
+		k, err := NewRollingKernel(6, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		day := []float64{400, 500, 600, 650, 550, 450} // all daylight
+		for d := 0; d < 5; d++ {
+			for j, v := range day {
+				if err := k.Observe(j, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for j := 0; j < 4; j++ {
+			if err := k.Observe(j, day[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := k.ObserveOps(), TypicalRollingObserveCounter(); got != want {
+			t.Errorf("%+v: live observe ops %+v != closed form %+v", params, got, want)
+		}
+		if _, err := k.Predict(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := k.PredictOps(), TypicalRollingPredictionCounter(params); got != want {
+			t.Errorf("%+v: live predict ops %+v != closed form %+v", params, got, want)
+		}
+	}
+}
+
+// TestRollingPredictionFlatInK is the cost-shape claim of the rolling
+// design: per-prediction cycles must be identical for every K (the
+// direct kernel's grow linearly, Table IV), and already cheaper than the
+// direct loop at K ≥ 2 under both cost models.
+func TestRollingPredictionFlatInK(t *testing.T) {
+	base := TypicalRollingPredictionCounter(core.Params{Alpha: 0.7, D: 20, K: 1})
+	for _, k := range []int{2, 4, 16, 64} {
+		params := core.Params{Alpha: 0.7, D: 20, K: k}
+		if c := TypicalRollingPredictionCounter(params); c != base {
+			t.Fatalf("K=%d: rolling prediction ops %+v differ from K=1 %+v", k, c, base)
+		}
+		for _, m := range []CostModel{SoftFloat, FixedQ16} {
+			direct := TypicalPredictionCounter(params).Cycles(m)
+			rolling := TypicalRollingPredictionCounter(params).Cycles(m)
+			if rolling >= direct {
+				t.Fatalf("K=%d %s: rolling %d cycles not below direct %d", k, m.Name, rolling, direct)
+			}
+		}
+	}
+}
+
+// TestRollingObserveCostIndependentOfParams: the per-sample rolling
+// charge must not depend on K or D — it is a constant tax on the
+// sampling interrupt.
+func TestRollingObserveCostIndependentOfParams(t *testing.T) {
+	want := TypicalRollingObserveCounter()
+	for _, params := range []core.Params{
+		{Alpha: 0.5, D: 2, K: 1},
+		{Alpha: 0.5, D: 10, K: 6},
+	} {
+		k, err := NewRollingKernel(12, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		day := make([]float64, 12)
+		for j := range day {
+			day[j] = 300 + 50*float64(j)
+		}
+		for d := 0; d < 3; d++ {
+			for j, v := range day {
+				if err := k.Observe(j, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := k.Observe(0, 333); err != nil { // day-roll slot
+			t.Fatal(err)
+		}
+		if err := k.Observe(1, 444); err != nil { // steady-state slot
+			t.Fatal(err)
+		}
+		if got := k.ObserveOps(); got != want {
+			t.Errorf("%+v: observe ops %+v, want %+v", params, got, want)
+		}
+	}
+}

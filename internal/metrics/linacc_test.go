@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// directBank scores the same stream with one Accumulator per α computing
+// the affine prediction ê(α) = α·pers + (1−α)·cond directly — the
+// O(|alphas|)-per-sample reference AlphaSweep must reproduce.
+type directBank struct {
+	alphas []float64
+	accs   []Accumulator
+}
+
+func newDirectBank(t *testing.T, alphas []float64) *directBank {
+	t.Helper()
+	b := &directBank{alphas: alphas, accs: make([]Accumulator, len(alphas))}
+	for i := range b.accs {
+		acc, err := MakeAccumulator(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.accs[i] = acc
+	}
+	return b
+}
+
+func (b *directBank) addInROI(pers, cond, ref, invRef float64) {
+	for i, a := range b.alphas {
+		b.accs[i].AddInROI(a*pers+(1-a)*cond, ref, invRef)
+	}
+}
+
+func (b *directBank) addOutsideROI(count int) {
+	for i := range b.accs {
+		b.accs[i].AddOutsideROI(count)
+	}
+}
+
+func (b *directBank) reports() []Report {
+	out := make([]Report, len(b.accs))
+	for i := range b.accs {
+		out[i] = b.accs[i].Snapshot()
+	}
+	return out
+}
+
+// closeAbs compares within 1e-9 scaled to the magnitude of the expected
+// value: the sweep reassociates sums, so ulp-level drift is legitimate.
+func closeAbs(got, want float64) bool {
+	if got == want {
+		return true
+	}
+	return math.Abs(got-want) <= 1e-9*(math.Abs(want)+1)
+}
+
+func checkReports(t *testing.T, label string, got, want []Report) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d reports, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Samples != w.Samples || g.OutsideROI != w.OutsideROI {
+			t.Fatalf("%s α[%d]: counts (%d,%d), want (%d,%d)",
+				label, i, g.Samples, g.OutsideROI, w.Samples, w.OutsideROI)
+		}
+		if !closeAbs(g.MAPE, w.MAPE) {
+			t.Fatalf("%s α[%d]: MAPE %v, want %v", label, i, g.MAPE, w.MAPE)
+		}
+		if !closeAbs(g.RMSE, w.RMSE) {
+			t.Fatalf("%s α[%d]: RMSE %v, want %v", label, i, g.RMSE, w.RMSE)
+		}
+		if !closeAbs(g.MAE, w.MAE) {
+			t.Fatalf("%s α[%d]: MAE %v, want %v", label, i, g.MAE, w.MAE)
+		}
+		if !closeAbs(g.MBE, w.MBE) {
+			t.Fatalf("%s α[%d]: MBE %v, want %v", label, i, g.MBE, w.MBE)
+		}
+		if !closeAbs(g.MaxAbsErr, w.MaxAbsErr) {
+			t.Fatalf("%s α[%d]: MaxAbsErr %v, want %v", label, i, g.MaxAbsErr, w.MaxAbsErr)
+		}
+	}
+}
+
+// feedRandom streams samples designed to hit every accumulation path:
+// breakpoints inside and far outside the grid, both slope signs, exact
+// zero slopes, zero terms, and the occasional huge error that exercises
+// the max-tracking prune.
+func feedRandom(rng *rand.Rand, n int, sw *AlphaSweep, bank *directBank) {
+	for i := 0; i < n; i++ {
+		ref := 1 + rng.Float64()*1199
+		var pers, cond float64
+		switch rng.Intn(8) {
+		case 0: // exact zero slope
+			pers = rng.Float64() * 1200
+			cond = pers
+		case 1: // breakpoint far below the grid
+			pers = rng.Float64() * 10
+			cond = 5000 + rng.Float64()*5000
+		case 2: // breakpoint far above the grid
+			pers = 5000 + rng.Float64()*5000
+			cond = rng.Float64() * 10
+		case 3: // zero terms
+			pers = 0
+			cond = rng.Float64() * 1200
+		case 4: // negative terms: the affine contract has no clamp
+			pers = -rng.Float64() * 50
+			cond = rng.Float64() * 1200
+		default:
+			pers = rng.Float64() * 1200
+			cond = rng.Float64() * 1200
+		}
+		sw.AddInROI(pers, cond, ref, 1/ref)
+		bank.addInROI(pers, cond, ref, 1/ref)
+		if rng.Intn(10) == 0 {
+			c := 1 + rng.Intn(5)
+			sw.AddOutsideROI(c)
+			bank.addOutsideROI(c)
+		}
+	}
+}
+
+func TestAlphaSweepMatchesAccumulatorBank(t *testing.T) {
+	grids := map[string][]float64{
+		"paper":     {0, 0.2, 0.4, 0.6, 0.8, 1},
+		"single":    {0.5},
+		"unsorted":  {0.8, 0.2, 0.8, 0, 1, 0.4},
+		"endpoints": {0, 1},
+		"wide-binary": func() []float64 { // > 16 alphas exercises binary search
+			var g []float64
+			for i := 0; i <= 24; i++ {
+				g = append(g, float64(i)/24)
+			}
+			return g
+		}(),
+	}
+	for name, alphas := range grids {
+		t.Run(name, func(t *testing.T) {
+			sw, err := NewAlphaSweep(alphas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bank := newDirectBank(t, alphas)
+			feedRandom(rand.New(rand.NewSource(42)), 4000, sw, bank)
+			if sw.N() != bank.accs[0].N() || sw.TotalSeen() != bank.accs[0].TotalSeen() {
+				t.Fatalf("counts: sweep (%d,%d), bank (%d,%d)",
+					sw.N(), sw.TotalSeen(), bank.accs[0].N(), bank.accs[0].TotalSeen())
+			}
+			checkReports(t, name, sw.Reports(), bank.reports())
+		})
+	}
+}
+
+func TestAlphaSweepEmptyReports(t *testing.T) {
+	sw, err := NewAlphaSweep([]float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.AddOutsideROI(7)
+	for i, r := range sw.Reports() {
+		if r.Samples != 0 || r.OutsideROI != 7 || r.MAPE != 0 || r.RMSE != 0 ||
+			r.MAE != 0 || r.MBE != 0 || r.MaxAbsErr != 0 {
+			t.Fatalf("α[%d]: empty sweep report %+v", i, r)
+		}
+	}
+}
+
+func TestAlphaSweepReconfigure(t *testing.T) {
+	first := []float64{0, 0.5, 1}
+	sw, err := NewAlphaSweep(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.AddInROI(100, 200, 150, 1.0/150)
+
+	// Same grid: state must reset, configuration must survive.
+	if err := sw.Reconfigure(first); err != nil {
+		t.Fatal(err)
+	}
+	if sw.N() != 0 || sw.TotalSeen() != 0 {
+		t.Fatalf("Reconfigure kept state: N=%d seen=%d", sw.N(), sw.TotalSeen())
+	}
+	bank := newDirectBank(t, first)
+	feedRandom(rand.New(rand.NewSource(7)), 500, sw, bank)
+	checkReports(t, "same-grid", sw.Reports(), bank.reports())
+
+	// Different (larger, then smaller) grids reuse the accumulator.
+	for _, next := range [][]float64{{0, 0.1, 0.3, 0.7, 0.9, 1}, {0.25}} {
+		if err := sw.Reconfigure(next); err != nil {
+			t.Fatal(err)
+		}
+		bank := newDirectBank(t, next)
+		feedRandom(rand.New(rand.NewSource(11)), 500, sw, bank)
+		checkReports(t, "regrid", sw.Reports(), bank.reports())
+	}
+}
+
+func TestAlphaSweepRejectsBadGrids(t *testing.T) {
+	for _, bad := range [][]float64{nil, {}, {0.5, math.NaN()}, {math.Inf(1)}} {
+		if _, err := NewAlphaSweep(bad); err == nil {
+			t.Fatalf("grid %v accepted", bad)
+		}
+	}
+}

@@ -66,27 +66,43 @@ func (e *Eval) AdaptiveEval(d int, cands []adaptive.Candidate, sel adaptive.Sele
 	lossFloor := e.Threshold(ref) / 2 // keeps night losses O(1)
 
 	// Unlike the grid sweeps, a policy's state advances on every slot, so
-	// the loop cannot skip out-of-ROI sources — but it still shares the
-	// per-D η cache and θ tables across all candidates and slots.
+	// the loop cannot skip out-of-ROI sources — the rolling ΦK windows
+	// slide in O(1) per slot per distinct K over the shared per-D η cache.
+	// The windows are re-initialised directly at day boundaries and at the
+	// start of every in-ROI run — the exact re-init points of
+	// sweepBlockMulti — so the scored window states are bit-identical to
+	// the grid sweeps' (a single-candidate policy reproduces SweepAlpha to
+	// association tolerance; the aggregation orders differ — see the
+	// README's kernel notes); between runs the slides keep Φ current for
+	// the full-information feedback.
 	sc := e.getScratch()
 	defer e.putScratch(sc)
 	e.fillEtas(sc, d, maxK)
-	thetaByK := make([][]float64, len(ks))
-	denByK := make([]float64, len(ks))
-	for i, k := range ks {
-		thetaByK[i], denByK[i] = buildThetas(make([]float64, k), k)
-	}
+	sc.rollSetup(ks)
 
 	n := e.view.N
+	invD := 1 / float64(d)
+	thr := e.Threshold(ref)
 	first, last := e.sourceRange()
 	res := &AdaptiveResult{Policy: sel.Name()}
 	prevChoice := -1
+	prevInROI := false
+	dayStart := first // first is day-aligned (warmupDays·N)
 	for t := first; t <= last; t++ {
+		refVal := e.reference(ref, t)
+		inROI := refVal >= thr && refVal > 0
+		if t%n == 0 || (inROI && !prevInROI) {
+			dayStart = (t / n) * n
+			sc.rollInitAt(t, dayStart, ks)
+		} else {
+			sc.rollSlide(t, dayStart, ks)
+		}
+		prevInROI = inROI
 		day := t / n
 		pers := e.view.Start[t]
-		mu := e.mu(day, (t+1)%n, d)
-		for i, k := range ks {
-			conds[i] = mu * e.phiCached(sc, t, k, thetaByK[i], denByK[i])
+		mu := e.mu(day, (t+1)%n, d, invD)
+		for i := range ks {
+			conds[i] = mu * sc.rollPhi(i)
 		}
 		choice := sel.Choose()
 		if choice < 0 || choice >= len(cands) {
@@ -100,7 +116,6 @@ func (e *Eval) AdaptiveEval(d int, cands []adaptive.Candidate, sel adaptive.Sele
 		}
 		chosen := cands[choice]
 		pred := core.Combine(chosen.Alpha, pers, conds[kIndex[chosen.K]])
-		refVal := e.reference(ref, t)
 		acc.Add(pred, refVal)
 
 		// Full-information feedback for every candidate.

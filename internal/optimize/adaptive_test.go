@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"math"
 	"testing"
 
 	"solarpred/internal/adaptive"
@@ -88,7 +89,11 @@ func TestAdaptivePoliciesLandBetweenStaticAndOracle(t *testing.T) {
 
 func TestAdaptiveSingleCandidateEqualsStatic(t *testing.T) {
 	// A policy over a single arm must reproduce the fixed-parameter
-	// evaluation exactly.
+	// evaluation: the same predictions are scored, so the two paths agree
+	// to association tolerance. (The vectorized sweep aggregates through
+	// the piecewise-linear α accumulator, the realizable path scores
+	// sequentially like a node would, so the sums associate differently —
+	// see the README's kernel notes.)
 	e, _, _ := adaptiveFixture(t)
 	params := core.Params{Alpha: 0.6, D: 10, K: 2}
 	sel, err := adaptive.NewFollowTheLeader(1)
@@ -103,8 +108,8 @@ func TestAdaptiveSingleCandidateEqualsStatic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Report.MAPE != direct[0].MAPE {
-		t.Errorf("single-arm adaptive %.6f != static %.6f", r.Report.MAPE, direct[0].MAPE)
+	if diff := math.Abs(r.Report.MAPE - direct[0].MAPE); diff > 1e-9*(1+direct[0].MAPE) {
+		t.Errorf("single-arm adaptive %v != static %v (diff %g)", r.Report.MAPE, direct[0].MAPE, diff)
 	}
 	if r.SwitchCount != 0 {
 		t.Errorf("single arm cannot switch, got %d", r.SwitchCount)

@@ -3,6 +3,7 @@ package optimize
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"solarpred/internal/core"
 	"solarpred/internal/metrics"
@@ -65,9 +66,22 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 		perK[i] = newAcc()
 	}
 
-	// The clairvoyant selector only ever scores in-ROI predictions, so the
-	// oracle minimisation runs on the precomputed ROI index with the per-D
-	// η cache shared across every K of the grid, like the grid search.
+	// The α minimisations exploit that ê(α) is affine in α up to the zero
+	// clamp, so the per-prediction argmin over a sorted grid is one of the
+	// two alphas bracketing the exact minimiser (see bestAlphaPick). Sort
+	// a copy if the caller's grid isn't already ascending.
+	sortedAlphas := grid.Alphas
+	if !sort.Float64sAreSorted(sortedAlphas) {
+		sortedAlphas = append([]float64(nil), grid.Alphas...)
+		sort.Float64s(sortedAlphas)
+	}
+
+	// The clairvoyant selector only ever scores in-ROI predictions, so —
+	// like sweepBlockMulti — the scan visits only the precomputed ROI
+	// index: the rolling ΦK windows slide in O(1) within each contiguous
+	// scored run and re-initialise directly at run starts and day
+	// boundaries, skipping night gaps entirely. The per-D η cache is
+	// shared across every K of the grid, like the grid search.
 	sc := e.getScratch()
 	defer e.putScratch(sc)
 	e.fillEtas(sc, d, kMax)
@@ -75,38 +89,44 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 		sc.conds = make([]float64, len(grid.Ks))
 	}
 	conds := sc.conds[:len(grid.Ks)]
-	thetaByK := make([][]float64, len(grid.Ks))
-	denByK := make([]float64, len(grid.Ks))
-	for ki, k := range grid.Ks {
-		thetaByK[ki], denByK[ki] = buildThetas(make([]float64, k), k)
-	}
+	sc.rollSetup(grid.Ks)
 
 	n := e.view.N
+	invD := 1 / float64(d)
 	roi := &e.roi[ref]
-	for i, t32 := range roi.ts {
-		t := int(t32)
+	ts := roi.ts
+	dayStart := 0
+	prev := -2 // never adjacent to the first scored source
+	for ri := range ts {
+		t := int(ts[ri])
+		if t == prev+1 && t != dayStart+n {
+			sc.rollSlide(t, dayStart, grid.Ks)
+		} else {
+			dayStart = (t / n) * n
+			sc.rollInitAt(t, dayStart, grid.Ks)
+		}
+		prev = t
 		day := t / n
 		pers := e.view.Start[t]
-		mu := e.mu(day, (t+1)%n, d)
-		for ki, k := range grid.Ks {
-			conds[ki] = mu * e.phiCached(sc, t, k, thetaByK[ki], denByK[ki])
+		mu := e.mu(day, (t+1)%n, d, invD)
+		for ki := range grid.Ks {
+			conds[ki] = mu * sc.rollPhi(ki)
 		}
-		refVal, invRef := roi.ref[i], roi.invRef[i]
+		refVal, invRef := roi.ref[ri], roi.invRef[ri]
 
-		// Full adaptation: min error over the whole grid.
+		// Full adaptation: best α per K via the bracket pick, then min
+		// over K.
 		bestBoth := math.Inf(1)
 		var bestBothPred float64
 		for ki := range grid.Ks {
-			for _, a := range grid.Alphas {
-				pred := core.Combine(a, pers, conds[ki])
-				if err := math.Abs(refVal - pred); err < bestBoth {
-					bestBoth, bestBothPred = err, pred
-				}
+			if err, pred := bestAlphaPick(sortedAlphas, pers, conds[ki], refVal); err < bestBoth {
+				bestBoth, bestBothPred = err, pred
 			}
 		}
 		both.AddInROI(bestBothPred, refVal, invRef)
 
-		// K adapted at each fixed α.
+		// K adapted at each fixed α: K has no bracketing structure, so
+		// this stays a direct minimisation over the (short) K grid.
 		for ai, a := range grid.Alphas {
 			best := math.Inf(1)
 			var bestPred float64
@@ -121,15 +141,8 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 
 		// α adapted at each fixed K.
 		for ki := range grid.Ks {
-			best := math.Inf(1)
-			var bestPred float64
-			for _, a := range grid.Alphas {
-				pred := core.Combine(a, pers, conds[ki])
-				if err := math.Abs(refVal - pred); err < best {
-					best, bestPred = err, pred
-				}
-			}
-			perK[ki].AddInROI(bestPred, refVal, invRef)
+			_, pred := bestAlphaPick(sortedAlphas, pers, conds[ki], refVal)
+			perK[ki].AddInROI(pred, refVal, invRef)
 		}
 	}
 	outside := roi.scored - len(roi.ts)
@@ -161,6 +174,56 @@ func (e *Eval) DynamicEval(d int, grid core.DynamicGrid, staticBest Cell, ref Re
 		}
 	}
 	return res, nil
+}
+
+// bestAlphaPick returns the minimum |ref − Combine(α, pers, cond)| over
+// an ascending α grid together with the prediction achieving it. The
+// prediction cond + α·(pers − cond) is affine in α up to the zero clamp
+// (constant where clamped), so |err(α)| is weakly unimodal with its
+// valley at the exact minimiser α* = (ref − cond)/(pers − cond): the
+// grid argmin is one of the two grid alphas bracketing α*, found in
+// O(log |alphas|) instead of a full scan. Ties between the bracket
+// endpoints resolve to the lower α; both give the same |err|, which is
+// all the per-mode MAPE aggregation consumes.
+func bestAlphaPick(alphas []float64, pers, cond, refVal float64) (bestErr, bestPred float64) {
+	m := pers - cond
+	if m == 0 {
+		// The prediction is independent of α.
+		pred := core.Combine(alphas[0], pers, cond)
+		return math.Abs(refVal - pred), pred
+	}
+	astar := (refVal - cond) / m
+	j := searchAscending(alphas, astar)
+	lo := j - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := j
+	if hi > len(alphas)-1 {
+		hi = len(alphas) - 1
+	}
+	bestPred = core.Combine(alphas[lo], pers, cond)
+	bestErr = math.Abs(refVal - bestPred)
+	if hi != lo {
+		if pred := core.Combine(alphas[hi], pers, cond); math.Abs(refVal-pred) < bestErr {
+			bestErr, bestPred = math.Abs(refVal-pred), pred
+		}
+	}
+	return bestErr, bestPred
+}
+
+// searchAscending returns the first index with alphas[j] ≥ x (len(alphas)
+// if none): a branch-predictable linear scan for the short grids the
+// paper's spaces use, binary search above.
+func searchAscending(alphas []float64, x float64) int {
+	if len(alphas) > 16 {
+		return sort.SearchFloat64s(alphas, x)
+	}
+	j := 0
+	for j < len(alphas) && alphas[j] < x {
+		j++
+	}
+	return j
 }
 
 // Gain returns the relative improvement of the dynamic error over the

@@ -20,10 +20,20 @@
 //     sub-grid. It is two to three orders of magnitude faster than the
 //     online path on grid-search workloads.
 //
-// The two paths agree to floating-point association tolerance (the fast
-// path hoists 1/reference out of the α loop and reuses cached quotients,
-// which differ from the online path's in the last ulp); the integration
-// tests pin the agreement at 1e-9 on MAPE.
+// Within the vectorized path two further asymptotic reductions apply
+// (see the README's kernel notes for the recurrences and the drift
+// analysis): ΦK is maintained as a rolling window over the η cache —
+// θ(i) = i/K is linear, so a plain sum P = Ση and a weighted sum
+// W = Σ i·η slide in O(1) per source slot, re-initialised at each day
+// boundary where the cache switches μD windows — cutting a (D, K) block
+// from O(T·K) to O(T); and the whole α grid of a block is scored by one
+// metrics.AlphaSweep linear accumulator in O(log |alphas|) amortised
+// per prediction instead of |alphas| accumulator updates.
+//
+// The paths agree to floating-point association tolerance (the fast
+// path hoists 1/reference out of the α loop, reuses cached quotients
+// and reassociates the ΦK and α-sweep sums, all ulp-level differences);
+// the integration tests pin the agreement at 1e-9 on MAPE.
 package optimize
 
 import (
@@ -123,10 +133,19 @@ type sweepScratch struct {
 	etaPrev []float64
 	// thetas[i] is θ(i+1) = (i+1)/K for the current block's K.
 	thetas []float64
-	// accs are the per-α accumulators of the current block.
-	accs []metrics.Accumulator
 	// conds is DynamicEval's per-K conditioned-term buffer.
 	conds []float64
+	// sweeps are the per-K linear α-sweep accumulators of a fused block,
+	// reconfigured (and reused) per sweepBlockMulti call.
+	sweeps []*metrics.AlphaSweep
+	// oneK backs the single-K slice SweepAlpha hands to sweepBlockMulti.
+	oneK [1]int
+	// rollP, rollW and rollInv are the multi-K rolling ΦK window state
+	// used by the dynamic and adaptive evaluators: one plain sum P = Ση,
+	// one weighted sum W = Σ i·η and one cached 1/(K·Σθ) per distinct K.
+	rollP   []float64
+	rollW   []float64
+	rollInv []float64
 }
 
 // Option customises evaluation.
@@ -199,6 +218,9 @@ func NewEval(view *timeseries.SlotView, opts ...Option) (*Eval, error) {
 		e.roi[ref] = e.buildROI(ref)
 	}
 	e.scratch.New = func() any { return e.newScratch() }
+	// Warm the pool so a caller's first sweep doesn't pay the η-cache
+	// allocation inside its timed region.
+	e.scratch.Put(e.newScratch())
 	return e, nil
 }
 
@@ -263,18 +285,22 @@ func (e *Eval) reference(ref RefKind, t int) float64 {
 
 // mu returns μD(j) as seen from source day d: the mean of slot j's
 // slot-start samples over days [d−D, d). It assumes d ≥ D (guaranteed for
-// scored predictions because warm-up ≥ D is enforced by callers).
-func (e *Eval) mu(d, j, D int) float64 {
+// scored predictions because warm-up ≥ D is enforced by callers). The
+// caller hoists invD = 1/D so the hot loops multiply instead of divide;
+// the two round identically for power-of-two D and within one ulp
+// otherwise, inside every cross-path tolerance (see the README's kernel
+// notes).
+func (e *Eval) mu(d, j, D int, invD float64) float64 {
 	n := e.view.N
-	return (e.prefix[d*n+j] - e.prefix[(d-D)*n+j]) / float64(D)
+	return (e.prefix[d*n+j] - e.prefix[(d-D)*n+j]) * invD
 }
 
 // eta returns the clamped brightness ratio η for source index src scored
 // against the μD window of day d (which is src's own day for same-day
 // window slots, or the following day for window slots reached across
 // midnight), matching core.Predictor.Phi's neutral-ratio fallback.
-func (e *Eval) eta(src, d, D int) float64 {
-	mu := e.mu(d, src%e.view.N, D)
+func (e *Eval) eta(src, d, D int, invD float64) float64 {
+	mu := e.mu(d, src%e.view.N, D, invD)
 	if mu <= core.MuEpsilon {
 		return 1
 	}
@@ -292,6 +318,7 @@ func (e *Eval) eta(src, d, D int) float64 {
 // the sharing that makes grid search cheap.
 func (e *Eval) fillEtas(sc *sweepScratch, D, kMax int) {
 	n := e.view.N
+	invD := 1 / float64(D)
 	first, last := e.sourceRange()
 	firstDay, lastDay := first/n, last/n
 	for d := firstDay; d <= lastDay; d++ {
@@ -300,7 +327,7 @@ func (e *Eval) fillEtas(sc *sweepScratch, D, kMax int) {
 			hi = last
 		}
 		for t := d * n; t <= hi; t++ {
-			sc.etaSame[t] = e.eta(t, d, D)
+			sc.etaSame[t] = e.eta(t, d, D, invD)
 		}
 	}
 	if kMax < 2 {
@@ -310,7 +337,7 @@ func (e *Eval) fillEtas(sc *sweepScratch, D, kMax int) {
 	for d := firstDay; d <= lastDay; d++ {
 		row := (d - 1) * n
 		for j := n - kMax + 1; j < n; j++ {
-			sc.etaPrev[row+j] = e.eta(row+j, d, D)
+			sc.etaPrev[row+j] = e.eta(row+j, d, D, invD)
 		}
 	}
 }
@@ -349,53 +376,161 @@ func buildThetas(dst []float64, k int) (thetas []float64, den float64) {
 	return thetas, den
 }
 
-// blockTables prepares the θ table, Σθ and per-α accumulators of one
-// (D, K) block in the scratch, allocation-free in steady state.
-func (e *Eval) blockTables(sc *sweepScratch, K int, nAlphas int, ref RefKind) (thetas []float64, den float64, err error) {
-	thetas, den = buildThetas(sc.thetas, K)
-	if cap(sc.accs) < nAlphas {
-		sc.accs = make([]metrics.Accumulator, nAlphas)
+// etaAt reads the cached η for source src as seen from the day starting
+// at source index dayStart: sources before the boundary were recorded
+// from the previous day, whose μD window (hence η) differs.
+func (sc *sweepScratch) etaAt(src, dayStart int) float64 {
+	if src < dayStart {
+		return sc.etaPrev[src]
 	}
-	sc.accs = sc.accs[:nAlphas]
-	thr := e.Threshold(ref)
-	for i := range sc.accs {
-		acc, err := metrics.MakeAccumulator(thr)
-		if err != nil {
-			return nil, 0, err
-		}
-		sc.accs[i] = acc
-	}
-	return thetas, den, nil
+	return sc.etaSame[src]
 }
 
-// sweepBlock evaluates one (D, K) block for every α in alphas over the
-// precomputed ROI index, reusing the scratch η caches (which must have
-// been filled for D). The ΦK of each prediction is computed once and
-// shared by the whole α sweep; 1/reference is hoisted out of the α loop.
+// windowInitAt computes the rolling ΦK sums P = Ση and W = Σ i·η
+// directly for the k-window ending at source t, reading the η caches as
+// seen from the day starting at dayStart. This O(k) re-initialisation
+// happens at every day boundary — the η cache switches μD windows there
+// (a source's ratio changes when viewed from the next day) — and at the
+// start of every scored daylight run, which both skips the pointless
+// slides across night gaps and bounds the O(1) slide's floating-point
+// drift to one contiguous run.
+func (sc *sweepScratch) windowInitAt(t, dayStart, k int) (p, w float64) {
+	base := t - k
+	for i := 1; i <= k; i++ {
+		eta := sc.etaAt(base+i, dayStart)
+		p += eta
+		w += float64(i) * eta
+	}
+	return p, w
+}
+
+// sweepBlock evaluates one (D, K) block for every α in alphas via the
+// fused multi-K scan with a single window size.
 func (e *Eval) sweepBlock(sc *sweepScratch, D, K int, alphas []float64, ref RefKind) ([]metrics.Report, error) {
-	thetas, den, err := e.blockTables(sc, K, len(alphas), ref)
+	sc.oneK[0] = K
+	reps, err := e.sweepBlockMulti(sc, D, sc.oneK[:], alphas, ref)
 	if err != nil {
 		return nil, err
 	}
-	roi := &e.roi[ref]
-	n := e.view.N
-	for i, t32 := range roi.ts {
-		t := int(t32)
-		d := t / n
-		pers := e.view.Start[t]
-		cond := e.mu(d, (t+1)%n, D) * e.phiCached(sc, t, K, thetas, den)
-		refVal, invRef := roi.ref[i], roi.invRef[i]
-		for ai, a := range alphas {
-			sc.accs[ai].AddInROI(core.Combine(a, pers, cond), refVal, invRef)
+	return reps[0], nil
+}
+
+// setupSweeps sizes the scratch's per-K α-sweep accumulator bank and
+// reconfigures (or lazily creates) each accumulator for the grid.
+func (sc *sweepScratch) setupSweeps(nk int, alphas []float64) error {
+	for len(sc.sweeps) < nk {
+		sc.sweeps = append(sc.sweeps, nil)
+	}
+	for i := 0; i < nk; i++ {
+		if sc.sweeps[i] == nil {
+			sw, err := metrics.NewAlphaSweep(alphas)
+			if err != nil {
+				return err
+			}
+			sc.sweeps[i] = sw
+		} else if err := sc.sweeps[i].Reconfigure(alphas); err != nil {
+			return err
 		}
 	}
-	outside := roi.scored - len(roi.ts)
-	out := make([]metrics.Report, len(alphas))
-	for ai := range sc.accs {
-		sc.accs[ai].AddOutsideROI(outside)
-		out[ai] = sc.accs[ai].Snapshot()
+	return nil
+}
+
+// rollInitAt re-initialises every rolling window directly at source t.
+func (sc *sweepScratch) rollInitAt(t, dayStart int, ks []int) {
+	for i, k := range ks {
+		sc.rollP[i], sc.rollW[i] = sc.windowInitAt(t, dayStart, k)
+	}
+}
+
+// sweepBlockMulti evaluates a (D, ×K, ×α) sub-grid in one rolling pass,
+// reusing the scratch η caches (which must have been filled for D and
+// kMax ≥ max K). The pass visits only the region-of-interest sources:
+// within a contiguous scored run each ΦK slides in O(1) — W ← W − P +
+// K·η_new, P ← P − η_old + η_new — and at a run start or day boundary
+// the windows re-initialise directly in O(K), so night gaps cost
+// nothing at all. Every per-prediction input shared across window sizes
+// (μD of the target, the persistence term, the reference and its
+// reciprocal) is computed once and fed to all |Ks| α-sweep
+// accumulators, and the whole α grid of each K is scored by one linear
+// accumulator; a sub-grid costs O(|ROI|·(|Ks| + log |alphas|)) instead
+// of O(|Ks|·|ROI|·(K + |alphas|)).
+//
+// The returned reports are indexed [ki][ai]. Per-K results are
+// bit-identical whatever the batching: each window's slides, inits and
+// accumulator stream depend only on its own K, which keeps the fused
+// grid search exactly equal to per-(D, K) SweepAlpha calls.
+func (e *Eval) sweepBlockMulti(sc *sweepScratch, D int, ks []int, alphas []float64, ref RefKind) ([][]metrics.Report, error) {
+	sc.rollSetup(ks)
+	if err := sc.setupSweeps(len(ks), alphas); err != nil {
+		return nil, err
+	}
+	roi := &e.roi[ref]
+	ts := roi.ts
+	n := e.view.N
+	rollW, rollInv := sc.rollW, sc.rollInv
+	sweeps := sc.sweeps[:len(ks)]
+	start := e.view.Start
+	invD := 1 / float64(D)
+	dayStart := 0
+	prev := -2 // never adjacent to the first scored source
+	for ri := range ts {
+		t := int(ts[ri])
+		if t == prev+1 && t != dayStart+n {
+			sc.rollSlide(t, dayStart, ks)
+		} else {
+			dayStart = (t / n) * n
+			sc.rollInitAt(t, dayStart, ks)
+		}
+		prev = t
+		pers := start[t]
+		mu := e.mu(t/n, (t+1)%n, D, invD)
+		refV, invRef := roi.ref[ri], roi.invRef[ri]
+		for i := range ks {
+			cond := mu * (rollW[i] * rollInv[i])
+			sweeps[i].AddInROI(pers, cond, refV, invRef)
+		}
+	}
+	outside := roi.scored - len(ts)
+	out := make([][]metrics.Report, len(ks))
+	for i := range ks {
+		sweeps[i].AddOutsideROI(outside)
+		reps := make([]metrics.Report, len(alphas))
+		copy(reps, sweeps[i].Reports())
+		out[i] = reps
 	}
 	return out, nil
+}
+
+// rollSetup sizes the scratch's multi-K rolling window state for the
+// given distinct window sizes and caches 1/(K·Σθ) per K.
+func (sc *sweepScratch) rollSetup(ks []int) {
+	if cap(sc.rollP) < len(ks) {
+		sc.rollP = make([]float64, len(ks))
+		sc.rollW = make([]float64, len(ks))
+		sc.rollInv = make([]float64, len(ks))
+	}
+	sc.rollP = sc.rollP[:len(ks)]
+	sc.rollW = sc.rollW[:len(ks)]
+	sc.rollInv = sc.rollInv[:len(ks)]
+	for i, k := range ks {
+		_, den := buildThetas(sc.thetas, k)
+		sc.rollInv[i] = 1 / (float64(k) * den)
+	}
+}
+
+// rollSlide advances every rolling window from source t−1 to the
+// same-day source t.
+func (sc *sweepScratch) rollSlide(t, dayStart int, ks []int) {
+	etaNew := sc.etaAt(t, dayStart)
+	for i, k := range ks {
+		sc.rollW[i] += float64(k)*etaNew - sc.rollP[i]
+		sc.rollP[i] += etaNew - sc.etaAt(t-k, dayStart)
+	}
+}
+
+// rollPhi evaluates the i-th rolling window: Φ = W·(1/(K·Σθ)).
+func (sc *sweepScratch) rollPhi(i int) float64 {
+	return sc.rollW[i] * sc.rollInv[i]
 }
 
 // sourceRange returns the first and last flat source indices t whose

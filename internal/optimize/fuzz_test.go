@@ -1,0 +1,128 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"solarpred/internal/core"
+	"solarpred/internal/timeseries"
+)
+
+// fuzzSlotView hand-assembles a slot view with pseudo-random nonnegative
+// powers and zero runs (night slots driving the μ ≤ ε neutral-η path).
+// NaN and negative draws are sanitised to zero: the evaluator's input
+// contract (a view built by timeseries.Slot from validated samples)
+// excludes them, and a NaN would legitimately poison both evaluation
+// paths into NaN reports, proving nothing.
+func fuzzSlotView(nSel, daysSel uint8, seed int64, zeroPerMille uint8) *timeseries.SlotView {
+	n := 4 + int(nSel)%21       // 4..24 slots per day
+	days := 3 + int(daysSel)%10 // 3..12 days
+	rng := rand.New(rand.NewSource(seed))
+	total := n * days
+	start := make([]float64, total)
+	mean := make([]float64, total)
+	for i := range start {
+		if rng.Intn(1000) < int(zeroPerMille)%800 {
+			start[i] = 0
+		} else {
+			start[i] = rng.Float64() * 1200
+		}
+		mean[i] = rng.Float64() * 1200
+	}
+	return &timeseries.SlotView{
+		N: n, M: 1, DaysCount: days, SlotMinutes: timeseries.MinutesPerDay / n,
+		Start: start, Mean: mean,
+	}
+}
+
+// FuzzSweepEquivalence fuzzes the tentpole invariant of the vectorized
+// engine: for arbitrary traces and (warm-up, D, K, α grid, reference)
+// draws, the rolling-ΦK + AlphaSweep sweep must match the direct
+// window-walk + accumulator-bank reference on every report field within
+// the package's 1e-9 association tolerance.
+func FuzzSweepEquivalence(f *testing.F) {
+	f.Add(uint8(20), uint8(9), int64(1), uint8(100), uint8(2), uint8(3), uint8(0))
+	f.Add(uint8(0), uint8(0), int64(7), uint8(200), uint8(1), uint8(0), uint8(1))
+	f.Add(uint8(11), uint8(4), int64(42), uint8(0), uint8(5), uint8(23), uint8(0))
+	f.Fuzz(func(t *testing.T, nSel, daysSel uint8, seed int64, zeroPM, dSel, kSel, refSel uint8) {
+		view := fuzzSlotView(nSel, daysSel, seed, zeroPM)
+		warmup := 1 + int(dSel)%(view.DaysCount-1)
+		D := 1 + int(dSel)%warmup
+		K := 1 + int(kSel)%view.N
+		ref := RefKind(int(refSel) % 2)
+		e, err := NewEval(view, WithWarmupDays(warmup))
+		if err != nil {
+			t.Skip()
+		}
+		alphas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+		if seed%2 == 0 { // exercise the unsorted-grid path too
+			alphas = []float64{0.9, 0.1, 1, 0, 0.5, 0.9}
+		}
+		got, err := e.SweepAlpha(D, K, alphas, ref)
+		if err != nil {
+			t.Fatalf("SweepAlpha(D=%d K=%d): %v", D, K, err)
+		}
+		want := directSweepBlock(t, e, D, K, alphas, ref)
+		reportsClose(t, ref.String(), got, want)
+	})
+}
+
+// FuzzDynamicOracleEquivalence fuzzes the clairvoyant path: the rolling
+// multi-K windows and the bracketed α argmin must reproduce the
+// exhaustive per-prediction minimisation for arbitrary traces and grids.
+func FuzzDynamicOracleEquivalence(f *testing.F) {
+	f.Add(uint8(20), uint8(9), int64(1), uint8(100), uint8(4), uint8(0))
+	f.Add(uint8(5), uint8(2), int64(3), uint8(180), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, nSel, daysSel uint8, seed int64, zeroPM, dSel, refSel uint8) {
+		view := fuzzSlotView(nSel, daysSel, seed, zeroPM)
+		warmup := 1 + int(dSel)%(view.DaysCount-1)
+		D := 1 + int(dSel)%warmup
+		ref := RefKind(int(refSel) % 2)
+		e, err := NewEval(view, WithWarmupDays(warmup))
+		if err != nil {
+			t.Skip()
+		}
+		grid := defaultFuzzGrid(view.N, seed)
+		res, err := e.DynamicEval(D, grid, Cell{}, ref)
+		if err != nil {
+			t.Fatalf("DynamicEval(D=%d): %v", D, err)
+		}
+		wantBoth, wantKOnly, wantAlphaOnly := directDynamicEval(t, e, D, grid, ref)
+		close := func(g, w float64) bool { return math.Abs(g-w) <= 1e-9*(math.Abs(w)+1) }
+		if !close(res.BothMAPE, wantBoth) {
+			t.Fatalf("BothMAPE %v, direct %v", res.BothMAPE, wantBoth)
+		}
+		minOf := func(xs []float64) float64 {
+			m := math.Inf(1)
+			for _, x := range xs {
+				if x < m {
+					m = x
+				}
+			}
+			return m
+		}
+		if w := minOf(wantKOnly); !close(res.KOnlyMAPE, w) {
+			t.Fatalf("KOnlyMAPE %v, direct %v", res.KOnlyMAPE, w)
+		}
+		if w := minOf(wantAlphaOnly); !close(res.AlphaOnlyMAPE, w) {
+			t.Fatalf("AlphaOnlyMAPE %v, direct %v", res.AlphaOnlyMAPE, w)
+		}
+	})
+}
+
+// defaultFuzzGrid derives a small dynamic grid valid for n slots/day,
+// unsorted on odd seeds so DynamicEval's sort path is exercised.
+func defaultFuzzGrid(n int, seed int64) core.DynamicGrid {
+	ks := []int{1}
+	for _, k := range []int{2, 3, 5} {
+		if k <= n {
+			ks = append(ks, k)
+		}
+	}
+	alphas := []float64{0, 0.25, 0.5, 0.75, 1}
+	if seed%2 != 0 {
+		alphas = []float64{0.75, 0.25, 1, 0, 0.5}
+	}
+	return core.DynamicGrid{Alphas: alphas, Ks: ks}
+}

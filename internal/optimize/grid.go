@@ -132,9 +132,10 @@ func maxOf(xs []int) int {
 // evaluator, minimising the averaged error of the chosen reference kind.
 // A pool of workers pulls whole D-blocks — one history depth with every
 // (K, α) of the space — from a channel; each worker owns preallocated
-// scratch state, fills the η ratio cache once per D, and reuses it for
-// every K and α of the block, so the inner loops allocate nothing and
-// share everything that can be shared.
+// scratch state, fills the η ratio cache once per D, and evaluates the
+// block's entire (×K, ×α) sub-grid in one fused rolling pass over the
+// region of interest (sweepBlockMulti), so the inner loops allocate
+// nothing and share everything that can be shared.
 //
 // Cells are returned D-major, then K, then α, and ties are broken
 // deterministically toward smaller D, then smaller K, then smaller α, so
@@ -164,14 +165,10 @@ func (e *Eval) GridSearch(space Space, ref RefKind) (*SearchResult, error) {
 			for di := range work {
 				d := space.Ds[di]
 				e.fillEtas(sc, d, kMax)
-				perK := make([][]metrics.Report, len(space.Ks))
-				for ki, k := range space.Ks {
-					reps, err := e.sweepBlock(sc, d, k, space.Alphas, ref)
-					if err != nil {
-						errs[di] = err
-						break
-					}
-					perK[ki] = reps
+				perK, err := e.sweepBlockMulti(sc, d, space.Ks, space.Alphas, ref)
+				if err != nil {
+					errs[di] = err
+					continue
 				}
 				reports[di] = perK
 			}
