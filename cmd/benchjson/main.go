@@ -15,6 +15,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
@@ -23,6 +26,7 @@ import (
 	"solarpred/internal/experiments"
 	"solarpred/internal/expstore"
 	"solarpred/internal/optimize"
+	"solarpred/internal/serve"
 )
 
 // Result is one timed entry of the report.
@@ -253,6 +257,62 @@ func run(path string, iters int) error {
 		}); err != nil {
 			return err
 		}
+	}
+
+	// Served-request latency: the same store behind cmd/solarpredd's HTTP
+	// API, measured as full round-trips (routing, batching, JSON encoding)
+	// against an in-process listener. The grid tuple is already warm from
+	// the drivers above, so these entries price the serving layer itself.
+	svc, err := serve.New(serve.Config{Exp: cfg})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	getJSON := func(url string, out any) error {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+		}
+		return json.Unmarshal(body, out)
+	}
+	if err := add("ServeForecast", "peakWatt", func() (float64, error) {
+		var fr serve.ForecastResult
+		// A full day ahead: the trace ends at midnight, so the peak of the
+		// recursion (not the zero night slots) is the regression-sensitive
+		// value.
+		url := fmt.Sprintf("%s/v1/forecast?site=%s&n=48&horizon=48", ts.URL, cfg.Sites[0])
+		if err := getJSON(url, &fr); err != nil {
+			return 0, err
+		}
+		peak := 0.0
+		for _, w := range fr.Watts {
+			if w > peak {
+				peak = w
+			}
+		}
+		return peak, nil
+	}); err != nil {
+		return err
+	}
+	if err := add("ServeGrid", "bestMAPE", func() (float64, error) {
+		var gr serve.GridResult
+		url := fmt.Sprintf("%s/v1/grid?site=%s&n=48", ts.URL, cfg.Sites[0])
+		if err := getJSON(url, &gr); err != nil {
+			return 0, err
+		}
+		return gr.Best.MAPE, nil
+	}); err != nil {
+		return err
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

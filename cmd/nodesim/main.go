@@ -19,6 +19,7 @@ import (
 
 	"solarpred/internal/core"
 	"solarpred/internal/dataset"
+	"solarpred/internal/expstore"
 	"solarpred/internal/harvest"
 	"solarpred/internal/report"
 	"solarpred/internal/timeseries"
@@ -39,16 +40,19 @@ func main() {
 	}
 }
 
+// view derives the simulation's slot view through an experiment store so
+// it comes off the same resolution pyramid as every other driver's —
+// slotting directly from the raw series would give bit-identical means
+// today but forks the derivation chain the caches key on.
 func view(siteName string, days, n int) (*timeseries.SlotView, error) {
-	site, err := dataset.SiteByName(siteName)
-	if err != nil {
-		return nil, err
-	}
-	series, err := dataset.GenerateDays(site, days)
-	if err != nil {
-		return nil, err
-	}
-	return series.Slot(n)
+	store := expstore.New(func(site string, d int) (*timeseries.Series, error) {
+		s, err := dataset.SiteByName(site)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.GenerateDays(s, d)
+	}, []int{n})
+	return store.View(siteName, days, n)
 }
 
 func buildPredictor(kind string, n int) (core.SlotPredictor, error) {

@@ -1,0 +1,99 @@
+// Command solarpredd is the prediction daemon: the warm experiment store
+// behind an HTTP/JSON API. It serves next-slot forecasts, grid-search
+// and tuning queries over the configured site universe, coalescing
+// concurrent queries for one (site, N, space, ref) tuple into a single
+// store computation and draining gracefully on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	solarpredd                      # quick scale on :8080
+//	solarpredd -addr :9000 -full    # paper scale (six sites, 365 days)
+//	solarpredd -days 120 -workers 4
+//
+// Endpoints: GET /healthz, /v1/forecast?site=&n=&horizon=,
+// /v1/grid?site=&n=, /v1/tune?site=&n=, /v1/stats; POST /v1/reset.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"solarpred/internal/experiments"
+	"solarpred/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		full         = flag.Bool("full", false, "serve the paper-scale universe (six sites, 365 days) instead of the quick one")
+		days         = flag.Int("days", 0, "override the trace length in days")
+		workers      = flag.Int("workers", 0, "bound concurrent store computations (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+	if err := run(*addr, *full, *days, *workers, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "solarpredd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, full bool, days, workers int, drainTimeout time.Duration) error {
+	cfg := experiments.QuickConfig()
+	if full {
+		cfg = experiments.DefaultConfig()
+	}
+	if days > 0 {
+		cfg.Days = days
+	}
+	cfg.Store = experiments.NewStore(cfg)
+	svc, err := serve.New(serve.Config{Exp: cfg, Workers: workers})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("solarpredd: listening on %s (sites %v, %d days, N %v)",
+			addr, cfg.Sites, cfg.Days, cfg.Ns)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal (e.g. port in use).
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: reject new requests (503 outside /healthz),
+	// stop accepting connections, wait for in-flight requests, then
+	// drain the batch loop.
+	log.Printf("solarpredd: signal received, draining (timeout %s)", drainTimeout)
+	svc.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	svc.Close()
+	log.Printf("solarpredd: drained cleanly")
+	return nil
+}

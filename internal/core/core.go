@@ -84,6 +84,20 @@ func (p Params) Validate() error {
 // The zero value is not usable; construct with New. The predictor keeps a
 // ring buffer of the last D full days plus the partially elapsed current
 // day, mirroring the E(D×N) matrix and Ẽ(N) vector of the paper's Fig. 3.
+//
+// # Ownership and concurrency
+//
+// A Predictor is single-writer, multi-reader: Observe (and Reset) mutate
+// the history matrix, the μD table and the rolling ΦK window, and must be
+// called from exactly one goroutine — the session that owns the
+// predictor's measurement stream. Between Observes, any number of
+// concurrent readers may call Predict, Forecast, PredictWith, Terms and
+// Phi: they only read predictor state. A serving layer that shares one
+// predictor across requests must therefore finish feeding it (replay the
+// whole observation stream in the computing goroutine) before publishing
+// it, and treat the published predictor as read-only — the pattern
+// internal/serve follows, verified under -race. A session that needs to
+// keep observing owns its predictor exclusively and never shares it.
 type Predictor struct {
 	params Params
 	n      int // slots per day
@@ -173,6 +187,9 @@ func (p *Predictor) Ready() bool { return p.histDays >= p.params.D }
 // Observe records the measured power at the start of slot `slot` of the
 // current day. Slots must be observed in order 0,1,2,…,N−1; observing
 // slot 0 after slot N−1 rolls the current day into history.
+//
+// Observe mutates the predictor and must only be called by its owning
+// session goroutine; see the Predictor ownership contract.
 func (p *Predictor) Observe(slot int, power float64) error {
 	if slot < 0 || slot >= p.n {
 		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, p.n)
@@ -371,6 +388,42 @@ func (p *Predictor) Predict() (float64, error) {
 		pred = 0
 	}
 	return pred, nil
+}
+
+// Forecast returns forecasts for the next h slots after the last
+// observed one, recursively applying Eq. 1: step 1 is exactly Predict();
+// each further step feeds the previous forecast back into the
+// persistence term while the conditioned term uses that slot's μD with
+// the current-day brightness factor ΦK held at its live value (the
+// forecaster observes nothing beyond the horizon's start, so Φ cannot be
+// updated). Forecasts wrap across the day boundary using the current
+// history's μD table.
+//
+// Forecast never mutates the predictor, so any number of concurrent
+// readers may call it between Observes — the property the prediction
+// service relies on to share one replayed predictor across requests.
+func (p *Predictor) Forecast(h int) ([]float64, error) {
+	if p.curSlot == 0 {
+		return nil, fmt.Errorf("core: no observation yet for the current day")
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("core: forecast horizon %d < 1", h)
+	}
+	n := p.curSlot - 1 // last observed slot
+	phi := p.phiRolling()
+	alpha := p.params.Alpha
+	out := make([]float64, h)
+	prev := p.cur[n]
+	for i := 1; i <= h; i++ {
+		j := (n + i) % p.n
+		pred := alpha*prev + (1-alpha)*p.muD(j)*phi
+		if pred < 0 {
+			pred = 0
+		}
+		out[i-1] = pred
+		prev = pred
+	}
+	return out, nil
 }
 
 // PredictWith evaluates Eq. 1 for an arbitrary (α, K) without changing

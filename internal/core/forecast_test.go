@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// feedDays drives the predictor through full days of a synthetic
+// daytime-bump profile and returns the per-slot powers of one template
+// day.
+func feedDays(t *testing.T, p *Predictor, days int) []float64 {
+	t.Helper()
+	n := p.N()
+	day := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x := float64(j)/float64(n)*2 - 1
+		day[j] = math.Max(0, 900*(1-x*x)-200)
+	}
+	for d := 0; d < days; d++ {
+		scale := 0.8 + 0.4*math.Sin(float64(d))
+		for j := 0; j < n; j++ {
+			if err := p.Observe(j, day[j]*scale); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return day
+}
+
+func TestForecastFirstStepEqualsPredict(t *testing.T) {
+	p, err := New(48, Params{Alpha: 0.7, D: 4, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := feedDays(t, p, 6)
+	for j := 0; j < 20; j++ {
+		if err := p.Observe(j, day[j]); err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Forecast(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("slot %d: Forecast[0] = %v, Predict = %v", j, got[0], want)
+		}
+	}
+}
+
+func TestForecastRecursionAndWrap(t *testing.T) {
+	const n = 24
+	p, err := New(n, Params{Alpha: 0.5, D: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := feedDays(t, p, 5)
+	// Observe up to the second-to-last slot so a 4-step horizon crosses
+	// the day boundary.
+	for j := 0; j < n-1; j++ {
+		if err := p.Observe(j, day[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const h = 4
+	got, err := p.Forecast(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the recursive Eq. 1 with frozen Φ, written directly.
+	phi := p.Phi(n - 2)
+	alpha := p.Params().Alpha
+	prev := day[n-2]
+	for i := 1; i <= h; i++ {
+		j := (n - 2 + i) % n
+		want := alpha*prev + (1-alpha)*p.muD(j)*phi
+		if want < 0 {
+			want = 0
+		}
+		if got[i-1] != want {
+			t.Fatalf("step %d: got %v, want %v", i, got[i-1], want)
+		}
+		prev = want
+	}
+}
+
+func TestForecastErrors(t *testing.T) {
+	p, err := New(24, Params{Alpha: 0.5, D: 2, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forecast(4); err == nil {
+		t.Error("forecast before any observation did not fail")
+	}
+	if err := p.Observe(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forecast(0); err == nil {
+		t.Error("zero horizon did not fail")
+	}
+	if _, err := p.Forecast(-1); err == nil {
+		t.Error("negative horizon did not fail")
+	}
+}
+
+// TestForecastConcurrentReaders exercises the multi-reader half of the
+// ownership contract under -race: once the owning goroutine stops
+// observing, concurrent Forecast/Predict/Terms calls on the shared
+// predictor are safe.
+func TestForecastConcurrentReaders(t *testing.T) {
+	p, err := New(48, Params{Alpha: 0.7, D: 5, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, p, 7)
+	if err := p.Observe(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Forecast(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got, err := p.Forecast(8)
+				if err != nil {
+					t.Errorf("concurrent forecast: %v", err)
+					return
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Errorf("concurrent forecast diverged at %d", k)
+						return
+					}
+				}
+				if _, err := p.Predict(); err != nil {
+					t.Errorf("concurrent predict: %v", err)
+					return
+				}
+				if _, _, err := p.Terms(2); err != nil {
+					t.Errorf("concurrent terms: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -62,8 +62,12 @@ func NewStore(cfg Config) *expstore.Store {
 	}, cfg.Ns)
 }
 
-// evalOptions maps the configuration onto the store's evaluator keying.
-func (c Config) evalOptions() expstore.EvalOptions {
+// EvalOptions maps the configuration onto the store's evaluator keying.
+// Exported so other store consumers (the prediction service in
+// internal/serve) address exactly the evaluator and grid entries the
+// drivers warm, instead of forking a second key universe for the same
+// tuples.
+func (c Config) EvalOptions() expstore.EvalOptions {
 	return expstore.EvalOptions{WarmupDays: c.WarmupDays}
 }
 
@@ -226,7 +230,7 @@ func (c Config) Trace(siteName string) (*timeseries.Series, error) {
 // *defined* but degenerate — the caller decides how to report it).
 func (c Config) evalFor(siteName string, n int) (*optimize.Eval, *timeseries.SlotView, error) {
 	if c.Store != nil {
-		e, err := c.Store.Eval(siteName, c.Days, n, c.evalOptions())
+		e, err := c.Store.Eval(siteName, c.Days, n, c.EvalOptions())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -254,7 +258,7 @@ func (c Config) evalFor(siteName string, n int) (*optimize.Eval, *timeseries.Slo
 // otherwise.
 func (c Config) gridFor(e *optimize.Eval, siteName string, n int, ref optimize.RefKind) (*optimize.SearchResult, error) {
 	if c.Store != nil {
-		return c.Store.Grid(siteName, c.Days, n, c.evalOptions(), c.Space, ref)
+		return c.Store.Grid(siteName, c.Days, n, c.EvalOptions(), c.Space, ref)
 	}
 	return e.GridSearch(c.Space, ref)
 }

@@ -30,20 +30,27 @@
 // # Single flight
 //
 // Concurrent requests for the same key are deduplicated: the first caller
-// computes while the rest block on the same flight and share its result
-// (including its error — computations here are deterministic, so a failure
-// is a property of the key, not of the attempt). Parallel (site, N)
-// workers therefore never compute the same tuple twice.
+// computes while the rest block on the same flight and share its result.
+// Callers already waiting on a flight that fails share its error, but the
+// failed entry is evicted on completion, so the next request for the key
+// computes afresh instead of inheriting a permanently poisoned entry.
+// A failure is a property of the attempt, not of the key: under a
+// long-running server a transient error (an exhausted resource, a
+// cancelled dependency) must not wedge a tuple for the process lifetime.
+// Parallel (site, N) workers therefore never compute the same tuple
+// twice, and a tuple whose first computation fails succeeds on retry.
 //
 // # Invalidation and memory bounds
 //
-// There is none: keys carry the full provenance of their value and the
-// underlying data is immutable for a process lifetime, so entries never
-// go stale and are never evicted. Memory is bounded by the set of
-// distinct keys requested — dominated by the grid results (one cell per
-// (α, D, K) point) and the slot-view/evaluator columns, a few dozen MB at
-// full paper scale. Reset drops everything for callers that want a cold
-// store.
+// Successful entries are never invalidated: keys carry the full
+// provenance of their value and the underlying data is immutable for a
+// process lifetime, so entries never go stale and are never evicted
+// (failed flights are the one exception — they leave the map so retries
+// can proceed). Memory is bounded by the set of distinct keys requested —
+// dominated by the grid results (one cell per (α, D, K) point) and the
+// slot-view/evaluator columns, a few dozen MB at full paper scale. Reset
+// drops everything for callers that want a cold store and is safe to call
+// at any time, including concurrently with live readers.
 package expstore
 
 import (
@@ -52,7 +59,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"solarpred/internal/optimize"
 	"solarpred/internal/timeseries"
@@ -88,8 +94,11 @@ func (o EvalOptions) apply() []optimize.Option {
 	return opts
 }
 
-// fingerprint renders the options as an exact key component.
-func (o EvalOptions) fingerprint() string {
+// Fingerprint renders the options as an exact key component. Exported so
+// store consumers that maintain their own keyed layers (the request
+// batcher in internal/serve) can agree with the store about evaluator
+// identity.
+func (o EvalOptions) Fingerprint() string {
 	return fmt.Sprintf("w%d,r%s,e%s", o.WarmupDays, fp(o.ROIFraction), fp(o.EtaMax))
 }
 
@@ -179,12 +188,6 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
-// counter is the internal atomic form of Counter.
-type counter struct {
-	hits   atomic.Uint64
-	misses atomic.Uint64
-}
-
 // flight is one single-flight computation slot.
 type flight struct {
 	done chan struct{}
@@ -201,9 +204,12 @@ type Store struct {
 	// scheduling.
 	ladder []int
 
+	// mu guards the flight map and the counters together, so Reset's map
+	// swap and counter zeroing are one atomic step with respect to every
+	// hit/miss account.
 	mu      sync.Mutex
 	flights map[string]*flight
-	stats   [numKinds]counter
+	stats   [numKinds]Counter
 }
 
 // New builds a store over a trace generator. ladder lists the sampling
@@ -220,22 +226,38 @@ func New(trace TraceFunc, ladder []int) *Store {
 }
 
 // do runs compute under single-flight semantics for key, counting a miss
-// for the computing caller and a hit for everyone else.
+// for the computing caller and a hit for everyone else. A failed flight
+// is evicted from the map before it publishes, so callers arriving after
+// the failure retry the computation rather than inheriting the error.
 func (s *Store) do(kind Kind, key string, compute func() (any, error)) (any, error) {
 	s.mu.Lock()
 	if f, ok := s.flights[key]; ok {
+		s.stats[kind].Hits++
 		s.mu.Unlock()
-		s.stats[kind].hits.Add(1)
 		<-f.done
 		return f.val, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
+	s.stats[kind].Misses++
 	s.mu.Unlock()
-	s.stats[kind].misses.Add(1)
 	f.val, f.err = compute()
+	if f.err != nil {
+		s.evict(key, f)
+	}
 	close(f.done)
 	return f.val, f.err
+}
+
+// evict removes a failed flight, but only if the key still maps to it — a
+// concurrent Reset may have swapped the map (making the delete a no-op)
+// or a retry may already have installed a fresh flight under the key.
+func (s *Store) evict(key string, f *flight) {
+	s.mu.Lock()
+	if cur, ok := s.flights[key]; ok && cur == f {
+		delete(s.flights, key)
+	}
+	s.mu.Unlock()
 }
 
 // Series returns the cached raw trace for (site, days).
@@ -268,6 +290,9 @@ func (s *Store) pyramid(site string, days int) (*timeseries.Pyramid, error) {
 			}
 			return timeseries.NewPyramid(series, s.ladder)
 		}()
+		if f.err != nil {
+			s.evict(key, f)
+		}
 		close(f.done)
 	} else {
 		s.mu.Unlock()
@@ -300,7 +325,7 @@ func (s *Store) View(site string, days, n int) (*timeseries.SlotView, error) {
 // returned evaluator is shared — it is safe for concurrent use and must
 // not be mutated.
 func (s *Store) Eval(site string, days, n int, opts EvalOptions) (*optimize.Eval, error) {
-	key := fmt.Sprintf("eval|%s|%d|%d|%s", site, days, n, opts.fingerprint())
+	key := fmt.Sprintf("eval|%s|%d|%d|%s", site, days, n, opts.Fingerprint())
 	v, err := s.do(KindEval, key, func() (any, error) {
 		view, err := s.View(site, days, n)
 		if err != nil {
@@ -318,7 +343,7 @@ func (s *Store) Eval(site string, days, n int, opts EvalOptions) (*optimize.Eval
 // (site, days, n, opts, space, ref). The returned result is shared and
 // must not be mutated.
 func (s *Store) Grid(site string, days, n int, opts EvalOptions, space optimize.Space, ref optimize.RefKind) (*optimize.SearchResult, error) {
-	key := fmt.Sprintf("grid|%s|%d|%d|%s|%s|%d", site, days, n, opts.fingerprint(), SpaceFingerprint(space), int(ref))
+	key := fmt.Sprintf("grid|%s|%d|%d|%s|%s|%d", site, days, n, opts.Fingerprint(), SpaceFingerprint(space), int(ref))
 	v, err := s.do(KindGrid, key, func() (any, error) {
 		e, err := s.Eval(site, days, n, opts)
 		if err != nil {
@@ -332,21 +357,21 @@ func (s *Store) Grid(site string, days, n int, opts EvalOptions, space optimize.
 	return v.(*optimize.SearchResult), nil
 }
 
-// Stats snapshots the hit/miss counters.
+// Stats snapshots the hit/miss counters. The snapshot is consistent
+// across kinds: it cannot observe a Reset half-applied.
 func (s *Store) Stats() Stats {
-	snap := func(k Kind) Counter {
-		return Counter{Hits: s.stats[k].hits.Load(), Misses: s.stats[k].misses.Load()}
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return Stats{
-		Series: snap(KindSeries),
-		View:   snap(KindView),
-		Eval:   snap(KindEval),
-		Grid:   snap(KindGrid),
+		Series: s.stats[KindSeries],
+		View:   s.stats[KindView],
+		Eval:   s.stats[KindEval],
+		Grid:   s.stats[KindGrid],
 	}
 }
 
-// Len returns the number of cached entries (including failed ones, which
-// cache their error).
+// Len returns the number of cached entries (completed successes plus
+// in-flight computations; failed flights are evicted on completion).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -366,16 +391,19 @@ func (s *Store) Keys() []string {
 	return keys
 }
 
-// Reset drops every cached entry and zeroes the counters. It must not be
-// called concurrently with readers that expect entries to persist;
-// in-flight computations complete against the old map and are simply no
-// longer shared.
+// Reset drops every cached entry and zeroes the counters, atomically
+// with respect to every other store operation: a request observes either
+// the full pre-Reset state or the full post-Reset state, never a swapped
+// map with stale counters. It is safe for concurrent use — a serving
+// daemon can expose it as an admin cache-flush without stopping the
+// world. In-flight computations complete against the old map: their
+// waiters still receive the result, it just is not shared with requests
+// that arrive after the Reset (which recompute into the new map).
 func (s *Store) Reset() {
 	s.mu.Lock()
 	s.flights = make(map[string]*flight)
-	s.mu.Unlock()
 	for k := range s.stats {
-		s.stats[k].hits.Store(0)
-		s.stats[k].misses.Store(0)
+		s.stats[k] = Counter{}
 	}
+	s.mu.Unlock()
 }

@@ -255,23 +255,126 @@ func TestStoreGridMatchesDirect(t *testing.T) {
 	}
 }
 
-func TestStoreErrorsAreCached(t *testing.T) {
+func TestStoreErrorThenRetry(t *testing.T) {
 	boom := errors.New("boom")
 	var calls atomic.Int64
 	s := New(func(site string, days int) (*timeseries.Series, error) {
-		calls.Add(1)
-		return nil, fmt.Errorf("generate %s: %w", site, boom)
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("generate %s: %w", site, boom)
+		}
+		return synthTrace(site, days)
+	}, []int{24})
+	if _, err := s.Series("A", 20); !errors.Is(err, boom) {
+		t.Fatalf("first attempt did not fail: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed flight retained: len = %d, keys = %v", s.Len(), s.Keys())
+	}
+	// The failure was a property of the attempt: the next request for the
+	// same key recomputes and succeeds.
+	if _, err := s.Series("A", 20); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("trace calls = %d, want 2 (fail, then retry)", calls.Load())
+	}
+	// Derived artefacts retry their dependencies too: a view whose series
+	// failed once must come up clean now that the series is cached.
+	if _, err := s.View("A", 20, 24); err != nil {
+		t.Fatalf("view after series retry: %v", err)
+	}
+	st := s.Stats()
+	if st.Series.Misses != 2 {
+		t.Errorf("series misses = %d, want 2 (failed attempt + retry)", st.Series.Misses)
+	}
+}
+
+func TestStoreErrorSharedByWaitersOnly(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	s := New(func(site string, days int) (*timeseries.Series, error) {
+		if calls.Add(1) == 1 {
+			<-gate // hold the failing flight open while waiters pile on
+			return nil, boom
+		}
+		return synthTrace(site, days)
 	}, nil)
-	_, err1 := s.Series("A", 10)
-	_, err2 := s.Series("A", 10)
-	if !errors.Is(err1, boom) || !errors.Is(err2, boom) {
-		t.Fatalf("errors = %v, %v", err1, err2)
+
+	const waiters = 8
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := s.Series("A", 20)
+			errs <- err
+		}()
 	}
-	if calls.Load() != 1 {
-		t.Errorf("failed computation retried: %d calls", calls.Load())
+	// Wait until every goroutine has joined the flight (1 miss + 7 hits),
+	// then release the failure.
+	for {
+		st := s.Stats()
+		if st.Series.Hits+st.Series.Misses == waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
-	if _, err := s.View("A", 10, 24); !errors.Is(err, boom) {
-		t.Errorf("view did not propagate the cached failure: %v", err)
+	close(gate)
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("waiter %d: err = %v, want boom", i, err)
+		}
+	}
+	// Everyone who waited shared the error; the key itself is clean.
+	if _, err := s.Series("A", 20); err != nil {
+		t.Fatalf("retry after shared failure: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("trace calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestStoreResetRacesReaders drives Reset concurrently with live readers
+// and asserts (under -race) that nobody observes torn state and every
+// request still succeeds. Entries computed before a Reset keep serving
+// the callers already holding them; requests after it recompute.
+func TestStoreResetRacesReaders(t *testing.T) {
+	s := New(synthTrace, []int{48, 24})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sites := []string{"A", "B"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				site := sites[(g+i)%len(sites)]
+				if _, err := s.View(site, 20, 24); err != nil {
+					t.Errorf("view during reset storm: %v", err)
+					return
+				}
+				if _, err := s.Grid(site, 20, 24, testOpts(), testSpace(), optimize.RefSlotMean); err != nil {
+					t.Errorf("grid during reset storm: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		s.Reset()
+		_ = s.Stats()
+		_ = s.Len()
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	// The store must be fully functional after the storm.
+	if _, err := s.Grid("A", 20, 24, testOpts(), testSpace(), optimize.RefSlotMean); err != nil {
+		t.Fatalf("store unusable after reset storm: %v", err)
 	}
 }
 

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDraining is returned for work submitted after shutdown began.
+var ErrDraining = errors.New("serve: draining, not accepting new work")
+
+// Stages carries the timestamps of one request's trip through the
+// batcher: when it was enqueued, when the computation serving it started
+// (its own, or the in-flight one it joined), and when the result fanned
+// out. The queue and compute latencies the endpoint metrics aggregate
+// come straight from these.
+type Stages struct {
+	Enqueued   time.Time
+	Dispatched time.Time
+	Done       time.Time
+	// Coalesced marks a request served by joining a computation another
+	// request had already initiated.
+	Coalesced bool
+}
+
+// batchItem is one request travelling through the batch loop, carrying
+// its own response channel (buffered so fan-out never blocks on an
+// abandoned caller).
+type batchItem struct {
+	key      string
+	compute  func() (any, error)
+	resp     chan batchResult
+	enqueued time.Time
+}
+
+// batchResult is what fans out to every waiter of a flight.
+type batchResult struct {
+	val    any
+	err    error
+	stages Stages
+}
+
+// completion is the message a compute goroutine sends back to the loop.
+type completion struct {
+	key        string
+	val        any
+	err        error
+	dispatched time.Time
+}
+
+// flightGroup is the loop's bookkeeping for one in-flight key: every
+// item waiting on it, in arrival order (waiters[0] initiated it).
+type flightGroup struct {
+	waiters []*batchItem
+}
+
+// Batcher coalesces concurrent requests for the same key into one
+// computation. A single batch loop owns the key → flight map: items
+// arrive over a channel; the first item for a key dispatches its compute
+// on a bounded worker pool, later items for the same key pile onto the
+// flight's waiter list; when the computation completes, the loop fans the
+// result out to every waiter's response channel. The loop alone touches
+// the map, so there is no lock on the admission path.
+//
+// The batcher sits in front of the store deliberately: expstore's own
+// single flight already deduplicates concurrent computations, but the
+// batcher bounds how many store computations run at once (the store
+// admits unlimited distinct keys), stamps every request's queue and
+// compute stages for the endpoint metrics, and gives shutdown a single
+// place to drain — Close stops admissions and blocks until every
+// in-flight computation has answered its waiters.
+type Batcher struct {
+	items       chan *batchItem
+	completions chan completion
+	quit        chan struct{}
+	stopped     chan struct{}
+	sem         chan struct{}
+	closeOnce   sync.Once
+
+	computations atomic.Uint64
+	coalesced    atomic.Uint64
+	inFlight     atomic.Int64
+}
+
+// BatcherStats is a snapshot of the batcher's counters.
+type BatcherStats struct {
+	// Computations is the number of computations dispatched.
+	Computations uint64 `json:"computations"`
+	// Coalesced is the number of requests served by joining an in-flight
+	// computation instead of dispatching their own.
+	Coalesced uint64 `json:"coalesced"`
+	// InFlight is the number of keys currently computing.
+	InFlight int64 `json:"in_flight"`
+}
+
+// NewBatcher starts a batch loop whose compute pool runs at most workers
+// computations concurrently (workers must be ≥ 1). Stop it with Close.
+func NewBatcher(workers int) *Batcher {
+	b := &Batcher{
+		items:       make(chan *batchItem),
+		completions: make(chan completion),
+		quit:        make(chan struct{}),
+		stopped:     make(chan struct{}),
+		sem:         make(chan struct{}, workers),
+	}
+	go b.loop()
+	return b
+}
+
+// Submit runs compute under the batcher's coalescing semantics and
+// returns its result with the request's stage timestamps. Concurrent
+// Submits for the same key share one computation. Submit fails with
+// ErrDraining once Close has begun and with ctx.Err() if the caller's
+// context expires first (the computation itself is not cancelled — its
+// result still answers the other waiters).
+func (b *Batcher) Submit(ctx context.Context, key string, compute func() (any, error)) (any, Stages, error) {
+	it := &batchItem{
+		key:      key,
+		compute:  compute,
+		resp:     make(chan batchResult, 1),
+		enqueued: time.Now(),
+	}
+	select {
+	case b.items <- it:
+	case <-b.quit:
+		return nil, Stages{}, ErrDraining
+	case <-ctx.Done():
+		return nil, Stages{}, ctx.Err()
+	}
+	select {
+	case r := <-it.resp:
+		return r.val, r.stages, r.err
+	case <-ctx.Done():
+		return nil, Stages{}, ctx.Err()
+	}
+}
+
+// Close stops admitting new work and blocks until every in-flight
+// computation has completed and answered its waiters. It is idempotent.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.quit) })
+	<-b.stopped
+}
+
+// Stats snapshots the batcher's counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Computations: b.computations.Load(),
+		Coalesced:    b.coalesced.Load(),
+		InFlight:     b.inFlight.Load(),
+	}
+}
+
+// loop is the batch loop: sole owner of the flight map.
+func (b *Batcher) loop() {
+	flights := make(map[string]*flightGroup)
+	draining := false
+	for {
+		if draining {
+			if len(flights) == 0 {
+				close(b.stopped)
+				return
+			}
+			// Admissions are closed; only completions can arrive.
+			b.finish(flights, <-b.completions)
+			continue
+		}
+		select {
+		case <-b.quit:
+			draining = true
+		case it := <-b.items:
+			if g, ok := flights[it.key]; ok {
+				g.waiters = append(g.waiters, it)
+				b.coalesced.Add(1)
+				continue
+			}
+			flights[it.key] = &flightGroup{waiters: []*batchItem{it}}
+			b.computations.Add(1)
+			b.inFlight.Add(1)
+			go b.run(it.key, it.compute)
+		case c := <-b.completions:
+			b.finish(flights, c)
+		}
+	}
+}
+
+// run executes one flight's computation on the bounded pool and reports
+// back to the loop.
+func (b *Batcher) run(key string, compute func() (any, error)) {
+	b.sem <- struct{}{}
+	dispatched := time.Now()
+	val, err := compute()
+	<-b.sem
+	b.completions <- completion{key: key, val: val, err: err, dispatched: dispatched}
+}
+
+// finish fans a completed flight's result out to its waiters.
+func (b *Batcher) finish(flights map[string]*flightGroup, c completion) {
+	g := flights[c.key]
+	delete(flights, c.key)
+	b.inFlight.Add(-1)
+	done := time.Now()
+	for i, it := range g.waiters {
+		it.resp <- batchResult{
+			val: c.val,
+			err: c.err,
+			stages: Stages{
+				Enqueued:   it.enqueued,
+				Dispatched: c.dispatched,
+				Done:       done,
+				Coalesced:  i > 0,
+			},
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"solarpred/internal/experiments"
+	"solarpred/internal/optimize"
+)
+
+// Endpoint names, used both as routes (under /v1) and as metric keys.
+const (
+	epHealth   = "healthz"
+	epForecast = "forecast"
+	epGrid     = "grid"
+	epTune     = "tune"
+	epStats    = "stats"
+	epReset    = "reset"
+)
+
+// endpointNames lists every instrumented endpoint.
+var endpointNames = []string{epHealth, epForecast, epGrid, epTune, epStats, epReset}
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz                            liveness (also served while draining)
+//	GET  /v1/forecast?site=&n=&horizon=      next-slot forecasts [&alpha=&d=&k=]
+//	GET  /v1/grid?site=&n=                   full grid result [&ref=&alphas=&ds=&ks=]
+//	GET  /v1/tune?site=&n=                   best / K=2 / guideline summary [&ref=...]
+//	GET  /v1/stats                           store + batcher + endpoint metrics
+//	POST /v1/reset                           admin cache flush
+//
+// Every endpoint except /healthz rejects requests with 503 once
+// BeginDrain has been called, so a load balancer sees the instance leave
+// rotation while in-flight requests finish.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument(epHealth, s.handleHealth))
+	mux.HandleFunc("/v1/forecast", s.instrument(epForecast, s.handleForecast))
+	mux.HandleFunc("/v1/grid", s.instrument(epGrid, s.handleGrid))
+	mux.HandleFunc("/v1/tune", s.instrument(epTune, s.handleTune))
+	mux.HandleFunc("/v1/stats", s.instrument(epStats, s.handleStats))
+	mux.HandleFunc("/v1/reset", s.instrument(epReset, s.handleReset))
+	return mux
+}
+
+// apiHandler produces a JSON-encodable value or an error.
+type apiHandler func(r *http.Request) (any, error)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// instrument wraps a handler with the endpoint's metrics bracket, the
+// drain gate and JSON encoding.
+func (s *Service) instrument(name string, h apiHandler) http.HandlerFunc {
+	m := s.metrics[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := m.begin()
+		if s.draining.Load() && name != epHealth {
+			m.end(start, true)
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: ErrDraining.Error()})
+			return
+		}
+		v, err := h(r)
+		m.end(start, err != nil)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case IsBadRequest(err):
+				status = http.StatusBadRequest
+			case err == ErrDraining:
+				status = http.StatusServiceUnavailable
+			case r.Context().Err() != nil:
+				status = 499 // client closed request
+			}
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// writeJSON encodes v with the proper header and status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Service) handleHealth(r *http.Request) (any, error) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return healthBody{Status: status, UptimeSeconds: s.Stats().UptimeSeconds}, nil
+}
+
+func (s *Service) handleForecast(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	site := q.Get("site")
+	n, err := intParam(q.Get("n"), "n", 48)
+	if err != nil {
+		return nil, err
+	}
+	horizon, err := intParam(q.Get("horizon"), "horizon", 1)
+	if err != nil {
+		return nil, err
+	}
+	params := experiments.GuidelineParams(n)
+	if v := q.Get("alpha"); v != "" {
+		if params.Alpha, err = floatParam(v, "alpha"); err != nil {
+			return nil, err
+		}
+	}
+	if v := q.Get("d"); v != "" {
+		if params.D, err = intParam(v, "d", 0); err != nil {
+			return nil, err
+		}
+	}
+	if v := q.Get("k"); v != "" {
+		if params.K, err = intParam(v, "k", 0); err != nil {
+			return nil, err
+		}
+	}
+	return s.Forecast(r.Context(), site, n, horizon, params)
+}
+
+func (s *Service) handleGrid(r *http.Request) (any, error) {
+	site, n, space, ref, err := s.gridParams(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Grid(r.Context(), site, n, space, ref)
+}
+
+func (s *Service) handleTune(r *http.Request) (any, error) {
+	site, n, space, ref, err := s.gridParams(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Tune(r.Context(), site, n, space, ref)
+}
+
+func (s *Service) handleStats(r *http.Request) (any, error) {
+	return s.Stats(), nil
+}
+
+func (s *Service) handleReset(r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, badf("reset requires POST")
+	}
+	s.Reset()
+	return map[string]string{"status": "reset"}, nil
+}
+
+// gridParams parses the (site, N, space, ref) tuple of a grid or tune
+// request. The space defaults to the service configuration's and may be
+// overridden per dimension with alphas=/ds=/ks= comma lists.
+func (s *Service) gridParams(r *http.Request) (site string, n int, space optimize.Space, ref optimize.RefKind, err error) {
+	q := r.URL.Query()
+	site = q.Get("site")
+	if n, err = intParam(q.Get("n"), "n", 48); err != nil {
+		return
+	}
+	if ref, err = refParam(q.Get("ref")); err != nil {
+		return
+	}
+	space = s.cfg.Space
+	if v := q.Get("alphas"); v != "" {
+		if space.Alphas, err = floatsParam(v, "alphas"); err != nil {
+			return
+		}
+	}
+	if v := q.Get("ds"); v != "" {
+		if space.Ds, err = intsParam(v, "ds"); err != nil {
+			return
+		}
+	}
+	if v := q.Get("ks"); v != "" {
+		if space.Ks, err = intsParam(v, "ks"); err != nil {
+			return
+		}
+	}
+	return
+}
+
+// refParam maps the ref query value onto a reference kind.
+func refParam(v string) (optimize.RefKind, error) {
+	switch v {
+	case "", "mean":
+		return optimize.RefSlotMean, nil
+	case "start", "prime":
+		return optimize.RefSlotStart, nil
+	default:
+		return 0, badf("ref=%q: want mean or start", v)
+	}
+}
+
+// intParam parses an int query value with a default for the empty string.
+func intParam(v, name string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	x, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badf("%s=%q: not an integer", name, v)
+	}
+	return x, nil
+}
+
+// floatParam parses a float query value.
+func floatParam(v, name string) (float64, error) {
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, badf("%s=%q: not a number", name, v)
+	}
+	return x, nil
+}
+
+// intsParam parses a comma-separated int list.
+func intsParam(v, name string) ([]int, error) {
+	parts := strings.Split(v, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		x, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, badf("%s=%q: element %q is not an integer", name, v, p)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// floatsParam parses a comma-separated float list.
+func floatsParam(v, name string) ([]float64, error) {
+	parts := strings.Split(v, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, badf("%s=%q: element %q is not a number", name, v, p)
+		}
+		out[i] = x
+	}
+	return out, nil
+}

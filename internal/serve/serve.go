@@ -1,0 +1,441 @@
+// Package serve implements the service layer behind cmd/solarpredd, the
+// prediction daemon: one warm expstore.Store wrapped in an HTTP/JSON API
+// serving forecast, grid and tuning queries to duty-cycled nodes.
+//
+// The layering, bottom to top:
+//
+//   - expstore.Store memoises traces, views, evaluators and grid results
+//     with single-flight admission per key (shared with the experiment
+//     drivers, so a repro run and the daemon warm the same entries);
+//   - Batcher coalesces concurrent requests for the same (site, N,
+//     space, ref) tuple into one store computation, bounds how many
+//     computations run at once, and stamps each request's queue/compute
+//     stages;
+//   - Service owns the request semantics (forecast replay, grid/tune
+//     conversion, admin reset) and the per-endpoint metrics;
+//   - the HTTP handlers in http.go parse, instrument and encode.
+//
+// Forecasts follow core.Predictor's ownership contract: a predictor is
+// replayed over a site's cached slot view inside the single computing
+// goroutine of a batcher flight, then published read-only — every
+// subsequent forecast for the tuple calls the predictor's non-mutating
+// Forecast. Observe is never exposed over the API.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"solarpred/internal/core"
+	"solarpred/internal/dataset"
+	"solarpred/internal/experiments"
+	"solarpred/internal/expstore"
+	"solarpred/internal/optimize"
+	"solarpred/internal/timeseries"
+)
+
+// Config scopes a Service.
+type Config struct {
+	// Exp fixes the data universe the daemon serves: sites, trace length,
+	// warm-up, sampling-rate ladder and default search space. If Exp.Store
+	// is nil, New builds one over the dataset generator.
+	Exp experiments.Config
+	// Workers bounds how many store computations the batcher runs
+	// concurrently; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Service is the daemon's request layer over one experiment store.
+// Construct with New; stop with BeginDrain followed by Close.
+type Service struct {
+	cfg      experiments.Config
+	store    *expstore.Store
+	batcher  *Batcher
+	started  time.Time
+	draining atomic.Bool
+
+	// metrics is a fixed endpoint-name → counters map, built once in New
+	// and read-only afterwards.
+	metrics map[string]*endpointMetrics
+
+	// preds holds replayed predictors published read-only, keyed by
+	// (site, days, N, params). Populated under batcher flights; flushed
+	// by Reset.
+	predMu sync.Mutex
+	preds  map[string]*core.Predictor
+}
+
+// New validates the configuration and starts the service's batch loop.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.Exp.Validate(); err != nil {
+		return nil, err
+	}
+	store := cfg.Exp.Store
+	if store == nil {
+		store = experiments.NewStore(cfg.Exp)
+		cfg.Exp.Store = store
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{
+		cfg:     cfg.Exp,
+		store:   store,
+		batcher: NewBatcher(workers),
+		started: time.Now(),
+		preds:   make(map[string]*core.Predictor),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	for _, ep := range endpointNames {
+		s.metrics[ep] = &endpointMetrics{}
+	}
+	return s, nil
+}
+
+// Config returns the experiment configuration the service serves.
+func (s *Service) Config() experiments.Config { return s.cfg }
+
+// Store exposes the underlying experiment store (tests and the bench
+// harness read its counters).
+func (s *Service) Store() *expstore.Store { return s.store }
+
+// Batcher exposes the request batcher for its counters.
+func (s *Service) Batcher() *Batcher { return s.batcher }
+
+// BeginDrain flips the service into drain mode: every endpoint except
+// /healthz rejects new requests with 503 while in-flight ones complete.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Close shuts the batch loop down, blocking until in-flight computations
+// have answered their waiters. Call after the HTTP server has stopped
+// accepting connections.
+func (s *Service) Close() { s.batcher.Close() }
+
+// badRequestError marks errors caused by the request, mapped to 400.
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+// badf builds a badRequestError.
+func badf(format string, args ...any) error {
+	return badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsBadRequest reports whether err is a client error (bad parameters,
+// unknown site, invalid slotting) rather than a server failure.
+func IsBadRequest(err error) bool {
+	var b badRequestError
+	return errors.As(err, &b) || errors.Is(err, timeseries.ErrSlotting)
+}
+
+// fkey formats a float exactly for a batcher/cache key.
+func fkey(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// checkSiteN validates the request's (site, n) against the dataset.
+func (s *Service) checkSiteN(site string, n int) error {
+	if site == "" {
+		return badf("missing site")
+	}
+	if _, err := dataset.SiteByName(site); err != nil {
+		return badf("%v", err)
+	}
+	if n < 2 {
+		return badf("n=%d: need at least 2 slots per day", n)
+	}
+	return nil
+}
+
+// --- Forecast ---------------------------------------------------------------
+
+// Params is the JSON form of core.Params.
+type Params struct {
+	Alpha float64 `json:"alpha"`
+	D     int     `json:"d"`
+	K     int     `json:"k"`
+}
+
+// ForecastResult is the /v1/forecast response: the predicted power at
+// the start of each of the next Horizon slots.
+type ForecastResult struct {
+	Site        string    `json:"site"`
+	N           int       `json:"n"`
+	SlotMinutes int       `json:"slot_minutes"`
+	Params      Params    `json:"params"`
+	HistoryDays int       `json:"history_days"`
+	NextSlot    int       `json:"next_slot"`
+	Horizon     int       `json:"horizon"`
+	Watts       []float64 `json:"watts"`
+}
+
+// Forecast serves the next horizon slot forecasts for a site at sampling
+// rate n under the given predictor parameters, replaying the predictor
+// over the site's cached slot view on first use and reusing the
+// published read-only predictor afterwards.
+func (s *Service) Forecast(ctx context.Context, site string, n, horizon int, params core.Params) (*ForecastResult, error) {
+	if err := s.checkSiteN(site, n); err != nil {
+		return nil, err
+	}
+	if horizon < 1 || horizon > n {
+		return nil, badf("horizon=%d out of [1,%d]", horizon, n)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, badf("%v", err)
+	}
+	if params.K > n {
+		return nil, badf("k=%d exceeds n=%d", params.K, n)
+	}
+	p, err := s.predictor(ctx, site, n, params)
+	if err != nil {
+		return nil, err
+	}
+	watts, err := p.Forecast(horizon)
+	if err != nil {
+		return nil, err
+	}
+	view, err := s.store.View(site, s.cfg.Days, n)
+	if err != nil {
+		return nil, err
+	}
+	return &ForecastResult{
+		Site:        site,
+		N:           n,
+		SlotMinutes: view.SlotMinutes,
+		Params:      Params{Alpha: params.Alpha, D: params.D, K: params.K},
+		HistoryDays: p.HistoryDays(),
+		NextSlot:    view.TotalSlots() % n,
+		Horizon:     horizon,
+		Watts:       watts,
+	}, nil
+}
+
+// predictor returns the published predictor for (site, n, params),
+// replaying it under a batcher flight on first use. Concurrent first
+// requests for one tuple coalesce into a single replay.
+func (s *Service) predictor(ctx context.Context, site string, n int, params core.Params) (*core.Predictor, error) {
+	key := fmt.Sprintf("pred|%s|%d|%d|a%s,d%d,k%d",
+		site, s.cfg.Days, n, fkey(params.Alpha), params.D, params.K)
+	s.predMu.Lock()
+	p, ok := s.preds[key]
+	s.predMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	v, _, err := s.batcher.Submit(ctx, key, func() (any, error) {
+		return s.replay(site, n, params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p = v.(*core.Predictor)
+	// Publish: from here on the predictor is read-only (storing the same
+	// pointer twice from coalesced waiters is idempotent).
+	s.predMu.Lock()
+	s.preds[key] = p
+	s.predMu.Unlock()
+	return p, nil
+}
+
+// replay is the session-ownership step of core.Predictor's contract: the
+// predictor is constructed and fed the site's whole observation stream
+// inside the single computing goroutine of a batcher flight, before
+// being published read-only.
+func (s *Service) replay(site string, n int, params core.Params) (*core.Predictor, error) {
+	view, err := s.store.View(site, s.cfg.Days, n)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.New(n, params)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < view.TotalSlots(); t++ {
+		if err := p.Observe(t%n, view.Start[t]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// --- Grid and tune ----------------------------------------------------------
+
+// CellResult is one evaluated grid point in JSON form.
+type CellResult struct {
+	Alpha     float64 `json:"alpha"`
+	D         int     `json:"d"`
+	K         int     `json:"k"`
+	MAPE      float64 `json:"mape"`
+	RMSE      float64 `json:"rmse"`
+	MaxAbsErr float64 `json:"max_abs_err"`
+	Samples   int     `json:"samples"`
+}
+
+// cellResult converts an optimize cell.
+func cellResult(c optimize.Cell) CellResult {
+	return CellResult{
+		Alpha:     c.Params.Alpha,
+		D:         c.Params.D,
+		K:         c.Params.K,
+		MAPE:      c.Report.MAPE,
+		RMSE:      c.Report.RMSE,
+		MaxAbsErr: c.Report.MaxAbsErr,
+		Samples:   c.Report.Samples,
+	}
+}
+
+// GridResult is the /v1/grid response: the full evaluated search space
+// for one (site, N, space, ref) tuple.
+type GridResult struct {
+	Site  string       `json:"site"`
+	N     int          `json:"n"`
+	Ref   string       `json:"ref"`
+	Best  CellResult   `json:"best"`
+	Cells []CellResult `json:"cells"`
+}
+
+// gridKey is the batcher key of a grid tuple — the same provenance the
+// store keys on, so coalescing and memoization agree about identity.
+func (s *Service) gridKey(site string, n int, space optimize.Space, ref optimize.RefKind) string {
+	return fmt.Sprintf("grid|%s|%d|%d|%s|%s|%d",
+		site, s.cfg.Days, n, s.cfg.EvalOptions().Fingerprint(), expstore.SpaceFingerprint(space), int(ref))
+}
+
+// grid runs the store's grid search for the tuple under the batcher.
+func (s *Service) grid(ctx context.Context, site string, n int, space optimize.Space, ref optimize.RefKind) (*optimize.SearchResult, error) {
+	if err := s.checkSiteN(site, n); err != nil {
+		return nil, err
+	}
+	if err := space.Validate(); err != nil {
+		return nil, badf("%v", err)
+	}
+	for _, d := range space.Ds {
+		if d > s.cfg.WarmupDays {
+			return nil, badf("space D=%d exceeds warm-up %d", d, s.cfg.WarmupDays)
+		}
+	}
+	v, _, err := s.batcher.Submit(ctx, s.gridKey(site, n, space, ref), func() (any, error) {
+		return s.store.Grid(site, s.cfg.Days, n, s.cfg.EvalOptions(), space, ref)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*optimize.SearchResult), nil
+}
+
+// Grid serves the full grid-search result for (site, n, space, ref).
+func (s *Service) Grid(ctx context.Context, site string, n int, space optimize.Space, ref optimize.RefKind) (*GridResult, error) {
+	res, err := s.grid(ctx, site, n, space, ref)
+	if err != nil {
+		return nil, err
+	}
+	out := &GridResult{
+		Site:  site,
+		N:     n,
+		Ref:   ref.String(),
+		Best:  cellResult(res.Best),
+		Cells: make([]CellResult, len(res.Cells)),
+	}
+	for i, c := range res.Cells {
+		out.Cells[i] = cellResult(c)
+	}
+	return out, nil
+}
+
+// TuneResult is the /v1/tune response: the optimum for the tuple, the
+// K=2 practical optimum if in the space, and the paper's guideline
+// configuration with its penalty versus the optimum.
+type TuneResult struct {
+	Site      string      `json:"site"`
+	N         int         `json:"n"`
+	Ref       string      `json:"ref"`
+	Best      CellResult  `json:"best"`
+	BestAtK2  *CellResult `json:"best_at_k2,omitempty"`
+	Guideline CellResult  `json:"guideline"`
+	// GuidelinePenalty is guideline MAPE minus optimum MAPE (absolute
+	// fractions): what the one-size tuning rule costs on this tuple.
+	GuidelinePenalty float64 `json:"guideline_penalty"`
+}
+
+// Tune serves the tuning summary for (site, n, space, ref). The grid
+// search itself is shared with Grid through the store, so concurrent
+// grid and tune queries for one tuple still compute it once.
+func (s *Service) Tune(ctx context.Context, site string, n int, space optimize.Space, ref optimize.RefKind) (*TuneResult, error) {
+	res, err := s.grid(ctx, site, n, space, ref)
+	if err != nil {
+		return nil, err
+	}
+	params := experiments.GuidelineParams(n)
+	e, err := s.store.Eval(site, s.cfg.Days, n, s.cfg.EvalOptions())
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.EvaluateOnline(params, ref)
+	if err != nil {
+		return nil, err
+	}
+	out := &TuneResult{
+		Site: site,
+		N:    n,
+		Ref:  ref.String(),
+		Best: cellResult(res.Best),
+		Guideline: cellResult(optimize.Cell{
+			Params: params,
+			Report: rep,
+		}),
+		GuidelinePenalty: rep.MAPE - res.Best.Report.MAPE,
+	}
+	if k2, ok := res.MinForK(2); ok {
+		c := cellResult(k2)
+		out.BestAtK2 = &c
+	}
+	return out, nil
+}
+
+// --- Stats and admin --------------------------------------------------------
+
+// StatsResult is the /v1/stats response.
+type StatsResult struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Draining      bool                     `json:"draining"`
+	Store         expstore.Stats           `json:"store"`
+	StoreEntries  int                      `json:"store_entries"`
+	Batcher       BatcherStats             `json:"batcher"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// Stats snapshots the service: uptime, store counters, batcher counters
+// and per-endpoint latency/throughput/in-flight metrics.
+func (s *Service) Stats() StatsResult {
+	uptime := time.Since(s.started)
+	eps := make(map[string]EndpointStats, len(s.metrics))
+	for name, m := range s.metrics {
+		eps[name] = m.snapshot(uptime)
+	}
+	return StatsResult{
+		UptimeSeconds: uptime.Seconds(),
+		Draining:      s.draining.Load(),
+		Store:         s.store.Stats(),
+		StoreEntries:  s.store.Len(),
+		Batcher:       s.batcher.Stats(),
+		Endpoints:     eps,
+	}
+}
+
+// Reset is the admin cache flush: it drops the store's entries and the
+// published predictors. Safe under live load — the store's Reset is
+// concurrency-safe and readers holding old objects keep them.
+func (s *Service) Reset() {
+	s.store.Reset()
+	s.predMu.Lock()
+	s.preds = make(map[string]*core.Predictor)
+	s.predMu.Unlock()
+}
