@@ -23,10 +23,13 @@ import (
 	"time"
 
 	"solarpred/internal/core"
+	"solarpred/internal/dataset"
 	"solarpred/internal/experiments"
 	"solarpred/internal/expstore"
+	"solarpred/internal/guard"
 	"solarpred/internal/optimize"
 	"solarpred/internal/serve"
+	"solarpred/internal/timeseries"
 )
 
 // Result is one timed entry of the report.
@@ -232,6 +235,59 @@ func run(path string, iters int) error {
 		return err
 	}
 
+	// Robustness tax: the same observe-and-predict replay through the raw
+	// predictor and through the guard's gating layer. The gap between the
+	// two entries' ns_per_pred is the per-sample price of the detectors;
+	// on this clean trace the guard's metric must stay at quality 1.
+	guardPreds := view.DaysCount * view.N
+	if err := addN("CorePredict", "peakWatt", guardPreds, func() (float64, error) {
+		p, err := core.New(view.N, experiments.GuidelineParams(view.N))
+		if err != nil {
+			return 0, err
+		}
+		peak := 0.0
+		for d := 0; d < view.DaysCount; d++ {
+			for j := 0; j < view.N; j++ {
+				if err := p.Observe(j, view.Start[d*view.N+j]); err != nil {
+					return 0, err
+				}
+				if p.Ready() {
+					w, err := p.Predict()
+					if err != nil {
+						return 0, err
+					}
+					if w > peak {
+						peak = w
+					}
+				}
+			}
+		}
+		return peak, nil
+	}); err != nil {
+		return err
+	}
+	if err := addN("GuardedPredict", "quality", guardPreds, func() (float64, error) {
+		g, err := guard.New(view.N, experiments.GuidelineParams(view.N), guard.DefaultConfig())
+		if err != nil {
+			return 0, err
+		}
+		for d := 0; d < view.DaysCount; d++ {
+			for j := 0; j < view.N; j++ {
+				if err := g.Observe(j, view.Start[d*view.N+j]); err != nil {
+					return 0, err
+				}
+				if g.Predictor().Ready() {
+					if _, err := g.Forecast(1); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+		return g.Quality(), nil
+	}); err != nil {
+		return err
+	}
+
 	// Fleet-rate online path at a finer grid (15-minute slots) across a
 	// spread of window sizes: with the rolling ΦK maintenance the
 	// per-prediction time must stay flat in K. Each entry scores every
@@ -311,6 +367,54 @@ func run(path string, iters int) error {
 			return 0, err
 		}
 		return gr.Best.MAPE, nil
+	}); err != nil {
+		return err
+	}
+
+	// Degraded round-trip: a second service whose first site's trace goes
+	// flat for its last two days, pushing the guard below its quality
+	// floor. The entry prices the climatological-fallback path end to end
+	// (replay, gating, stale/degraded JSON encoding); its metric is the
+	// served quality score, which must sit below guard.DefaultConfig's
+	// MinQuality for the fallback to have actually engaged.
+	degCfg := experiments.QuickConfig()
+	degSite := degCfg.Sites[0]
+	degCfg.Store = expstore.New(func(site string, days int) (*timeseries.Series, error) {
+		s, err := dataset.SiteByName(site)
+		if err != nil {
+			return nil, err
+		}
+		series, err := dataset.GenerateDays(s, days)
+		if err != nil {
+			return nil, err
+		}
+		if site != degSite {
+			return series, nil
+		}
+		samples := append([]float64(nil), series.Samples...)
+		perDay := series.SamplesPerDay()
+		for i := len(samples) - 2*perDay; i < len(samples); i++ {
+			samples[i] = 7.5
+		}
+		return timeseries.New(series.ResolutionMinutes, samples)
+	}, degCfg.Ns)
+	degSvc, err := serve.New(serve.Config{Exp: degCfg})
+	if err != nil {
+		return err
+	}
+	defer degSvc.Close()
+	degTS := httptest.NewServer(degSvc.Handler())
+	defer degTS.Close()
+	if err := add("DegradedForecast", "quality", func() (float64, error) {
+		var fr serve.ForecastResult
+		url := fmt.Sprintf("%s/v1/forecast?site=%s&n=48&horizon=2", degTS.URL, degSite)
+		if err := getJSON(url, &fr); err != nil {
+			return 0, err
+		}
+		if !fr.Degraded {
+			return 0, fmt.Errorf("degraded trace served a non-degraded forecast (quality %.3f)", fr.Quality)
+		}
+		return fr.Quality, nil
 	}); err != nil {
 		return err
 	}

@@ -295,6 +295,18 @@ func (p *Predictor) muD(j int) float64 {
 	return p.muTable[j]
 }
 
+// MuD returns the climatological slot average μD(j) over the current
+// history — the conditioned-average anchor of Eq. 1 and the fallback a
+// degraded-mode forecaster serves when the input stream cannot be
+// trusted (internal/guard). It only reads predictor state, so concurrent
+// callers are safe between Observes.
+func (p *Predictor) MuD(j int) (float64, error) {
+	if j < 0 || j >= p.n {
+		return 0, fmt.Errorf("core: slot %d out of range [0,%d)", j, p.n)
+	}
+	return p.muTable[j], nil
+}
+
 // currentOrPrev returns the measurement for current-day slot index j,
 // which may be negative to reach into the previous day (wrap-around for
 // the ΦK window at the start of a day).

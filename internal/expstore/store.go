@@ -241,12 +241,32 @@ func (s *Store) do(kind Kind, key string, compute func() (any, error)) (any, err
 	s.flights[key] = f
 	s.stats[kind].Misses++
 	s.mu.Unlock()
-	f.val, f.err = compute()
+	if panicked := s.runFlight(key, f, compute); panicked != nil {
+		panic(panicked)
+	}
+	return f.val, f.err
+}
+
+// runFlight executes one flight's computation, evicts it on failure and
+// publishes the result. A panic inside compute is converted into the
+// flight's error — waiters retry like any failed flight instead of
+// hanging on a done channel that would never close — and is returned for
+// the computing caller to re-raise once the store is consistent again.
+func (s *Store) runFlight(key string, f *flight, compute func() (any, error)) (panicked any) {
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r
+				f.val, f.err = nil, fmt.Errorf("expstore: computation panicked: %v", r)
+			}
+		}()
+		f.val, f.err = compute()
+	}()
 	if f.err != nil {
 		s.evict(key, f)
 	}
 	close(f.done)
-	return f.val, f.err
+	return panicked
 }
 
 // evict removes a failed flight, but only if the key still maps to it — a
@@ -283,17 +303,16 @@ func (s *Store) pyramid(site string, days int) (*timeseries.Pyramid, error) {
 		f = &flight{done: make(chan struct{})}
 		s.flights[key] = f
 		s.mu.Unlock()
-		f.val, f.err = func() (any, error) {
+		panicked := s.runFlight(key, f, func() (any, error) {
 			series, err := s.Series(site, days)
 			if err != nil {
 				return nil, err
 			}
 			return timeseries.NewPyramid(series, s.ladder)
-		}()
-		if f.err != nil {
-			s.evict(key, f)
+		})
+		if panicked != nil {
+			panic(panicked)
 		}
-		close(f.done)
 	} else {
 		s.mu.Unlock()
 		<-f.done

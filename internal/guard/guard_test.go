@@ -1,0 +1,456 @@
+package guard_test
+
+import (
+	"math"
+	"testing"
+
+	"solarpred/internal/core"
+	"solarpred/internal/dataset"
+	"solarpred/internal/experiments"
+	"solarpred/internal/faults"
+	"solarpred/internal/guard"
+	"solarpred/internal/timeseries"
+)
+
+const (
+	testDays   = 60
+	testN      = 48
+	warmupDays = 12
+)
+
+// trace generates a clean quick-scale trace for a site.
+func trace(t *testing.T, site string) *timeseries.Series {
+	t.Helper()
+	s, err := dataset.SiteByName(site)
+	if err != nil {
+		t.Fatalf("site %s: %v", site, err)
+	}
+	series, err := dataset.GenerateDays(s, testDays)
+	if err != nil {
+		t.Fatalf("generate %s: %v", site, err)
+	}
+	return series
+}
+
+// slotView slices a series into the test resolution.
+func slotView(t *testing.T, s *timeseries.Series) *timeseries.SlotView {
+	t.Helper()
+	v, err := s.Slot(testN)
+	if err != nil {
+		t.Fatalf("slot: %v", err)
+	}
+	return v
+}
+
+// newGuard builds a guard at the guideline point with default gating.
+func newGuard(t *testing.T) *guard.Guard {
+	t.Helper()
+	g, err := guard.New(testN, experiments.GuidelineParams(testN), guard.DefaultConfig())
+	if err != nil {
+		t.Fatalf("guard.New: %v", err)
+	}
+	return g
+}
+
+// replay feeds every slot-start sample of the view through the guard.
+func replay(t *testing.T, g *guard.Guard, v *timeseries.SlotView) {
+	t.Helper()
+	for d := 0; d < v.DaysCount; d++ {
+		for j := 0; j < v.N; j++ {
+			if err := g.Observe(j, v.Start[d*v.N+j]); err != nil {
+				t.Fatalf("observe day %d slot %d: %v", d, j, err)
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := guard.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mut := func(f func(*guard.Config)) guard.Config {
+		c := guard.DefaultConfig()
+		f(&c)
+		return c
+	}
+	bad := []struct {
+		name string
+		cfg  guard.Config
+	}{
+		{"hold run", mut(func(c *guard.Config) { c.HoldRun = 1 })},
+		{"zero run", mut(func(c *guard.Config) { c.ZeroRun = 0 })},
+		{"zero frac", mut(func(c *guard.Config) { c.ZeroMuFrac = 1.5 })},
+		{"spike ratio", mut(func(c *guard.Config) { c.SpikeRatio = 1 })},
+		{"spike frac", mut(func(c *guard.Config) { c.SpikeMuFrac = 0 })},
+		{"drift windows", mut(func(c *guard.Config) { c.DriftBaseDays = c.DriftEnvDays })},
+		{"drift ratio", mut(func(c *guard.Config) { c.DriftRatio = 1 })},
+		{"drift penalty", mut(func(c *guard.Config) { c.DriftPenalty = 1.2 })},
+		{"quality alpha", mut(func(c *guard.Config) { c.QualityAlpha = 1 })},
+		{"min quality", mut(func(c *guard.Config) { c.MinQuality = 0 })},
+	}
+	for _, tc := range bad {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+		if _, err := guard.New(testN, experiments.GuidelineParams(testN), tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+	if _, err := guard.New(0, experiments.GuidelineParams(testN), guard.DefaultConfig()); err == nil {
+		t.Error("New accepted n=0")
+	}
+}
+
+// TestCleanTraceBitIdentity pins the guard's no-fault contract: on clean
+// traces no detector fires, no sample is altered, and every forecast is
+// bit-identical to an unguarded core.Predictor fed the same stream.
+func TestCleanTraceBitIdentity(t *testing.T) {
+	for _, site := range []string{"SPMD", "NPCS"} {
+		t.Run(site, func(t *testing.T) {
+			v := slotView(t, trace(t, site))
+			g := newGuard(t)
+			p, err := core.New(testN, experiments.GuidelineParams(testN))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < v.DaysCount; d++ {
+				for j := 0; j < v.N; j++ {
+					x := v.Start[d*v.N+j]
+					if err := g.Observe(j, x); err != nil {
+						t.Fatalf("guard observe: %v", err)
+					}
+					if err := p.Observe(j, x); err != nil {
+						t.Fatalf("raw observe: %v", err)
+					}
+					if !p.Ready() {
+						continue
+					}
+					want, err := p.Forecast(4)
+					if err != nil {
+						t.Fatalf("raw forecast: %v", err)
+					}
+					got, err := g.Forecast(4)
+					if err != nil {
+						t.Fatalf("guarded forecast: %v", err)
+					}
+					if got.Degraded {
+						t.Fatalf("day %d slot %d: clean trace degraded", d, j)
+					}
+					for i := range want {
+						if got.Watts[i] != want[i] {
+							t.Fatalf("day %d slot %d h%d: guarded %v != raw %v",
+								d, j, i+1, got.Watts[i], want[i])
+						}
+					}
+				}
+			}
+			st := g.Stats()
+			if !st.Clean() {
+				t.Errorf("detectors fired on clean trace: %+v", st.Detected)
+			}
+			if st.Repaired != 0 {
+				t.Errorf("repaired %d clean samples", st.Repaired)
+			}
+			if st.Quality != 1 {
+				t.Errorf("clean quality %v != 1", st.Quality)
+			}
+			if st.Degraded || g.Degraded() {
+				t.Error("clean trace reports degraded")
+			}
+			if st.Samples != uint64(v.DaysCount*v.N) {
+				t.Errorf("samples %d != %d", st.Samples, v.DaysCount*v.N)
+			}
+		})
+	}
+}
+
+// TestDetectorInjectorDuality is the satellite table: for each
+// faults.Kind, inject at a known seed and assert the matching detector
+// fires — and that the whole bank stays quiet on the clean trace (the
+// clean row rides TestCleanTraceBitIdentity too, but the table states
+// the duality in one place).
+func TestDetectorInjectorDuality(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  *faults.Config
+	}{
+		{"clean", nil},
+		{"dropout", &faults.Config{Kind: faults.Dropout, Rate: 0.01, MeanLen: 12, Seed: 102}},
+		{"stuck-at-zero", &faults.Config{Kind: faults.StuckAtZero, Rate: 0.005, MeanLen: 10, Seed: 103}},
+		{"spike", &faults.Config{Kind: faults.Spike, Rate: 0.01, SpikeGain: 8, Seed: 104}},
+		// Depth 0.35 is above the envelope detector's sensitivity floor;
+		// the package default 0.15 is deliberately below it (advisory
+		// detector, seasonally confounded — see the package doc).
+		{"gain-drift", &faults.Config{Kind: faults.GainDrift, DriftDepth: 0.35, DriftPeriodDays: 30, Seed: 105}},
+	}
+	for _, site := range []string{"SPMD", "NPCS"} {
+		clean := trace(t, site)
+		for _, tc := range cases {
+			t.Run(site+"/"+tc.name, func(t *testing.T) {
+				series := clean
+				if tc.cfg != nil {
+					corrupted, rep, err := faults.Inject(clean, *tc.cfg)
+					if err != nil {
+						t.Fatalf("inject: %v", err)
+					}
+					if rep.AffectedSamples == 0 {
+						t.Fatalf("injector touched no samples")
+					}
+					series = corrupted
+				}
+				g := newGuard(t)
+				replay(t, g, slotView(t, series))
+				st := g.Stats()
+				if tc.cfg == nil {
+					if !st.Clean() {
+						t.Fatalf("clean trace fired detectors: %+v", st.Detected)
+					}
+					return
+				}
+				if got := st.DetectedKind(tc.cfg.Kind); got == 0 {
+					t.Fatalf("%v injected but detector silent (stats %+v)", tc.cfg.Kind, st)
+				}
+				if tc.cfg.Kind == faults.StuckAtZero && st.Repaired == 0 {
+					t.Error("stuck-at-zero detected but nothing repaired")
+				}
+				if tc.cfg.Kind == faults.Spike && st.Repaired == 0 {
+					t.Error("spikes detected but none clamped")
+				}
+			})
+		}
+	}
+}
+
+// scoreMAPE replays the corrupted slot-start stream through observe and
+// scores each 1-step forecast against the *clean* slot means (the energy
+// actually delivered does not care about the sensor fault), over the
+// bright region of interest past the warm-up — the same scoring stance
+// as experiments.Robustness.
+func scoreMAPE(t *testing.T, observe func(slot int, x float64) error,
+	forecast func() (float64, bool), corrupted, clean *timeseries.SlotView) float64 {
+	t.Helper()
+	peak := 0.0
+	for _, m := range clean.Mean {
+		if m > peak {
+			peak = m
+		}
+	}
+	roi := 0.1 * peak
+	sum, cnt := 0.0, 0
+	n := corrupted.N
+	for d := 0; d < corrupted.DaysCount; d++ {
+		for j := 0; j < n; j++ {
+			if err := observe(j, corrupted.Start[d*n+j]); err != nil {
+				t.Fatalf("observe day %d slot %d: %v", d, j, err)
+			}
+			pred, ok := forecast()
+			if !ok || d < warmupDays {
+				continue
+			}
+			// Reference for the next slot, wrapping the day boundary.
+			rd, rj := d, j+1
+			if rj == n {
+				rd, rj = d+1, 0
+			}
+			if rd >= clean.DaysCount {
+				continue
+			}
+			ref := clean.Mean[rd*n+rj]
+			if ref < roi {
+				continue
+			}
+			sum += math.Abs(pred-ref) / ref
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		t.Fatal("no scored predictions")
+	}
+	return 100 * sum / float64(cnt)
+}
+
+// guardedMAPE scores a guard on a corrupted view against clean means.
+func guardedMAPE(t *testing.T, corrupted, clean *timeseries.SlotView) float64 {
+	g := newGuard(t)
+	return scoreMAPE(t, g.Observe, func() (float64, bool) {
+		f, err := g.Forecast(1)
+		if err != nil {
+			return 0, false
+		}
+		return f.Watts[0], true
+	}, corrupted, clean)
+}
+
+// rawMAPE scores an unguarded predictor the same way.
+func rawMAPE(t *testing.T, corrupted, clean *timeseries.SlotView) float64 {
+	p, err := core.New(testN, experiments.GuidelineParams(testN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scoreMAPE(t, p.Observe, func() (float64, bool) {
+		w, err := p.Forecast(1)
+		if err != nil {
+			return 0, false
+		}
+		return w[0], true
+	}, corrupted, clean)
+}
+
+// TestGuardedMAPEBounded is the acceptance criterion: under every
+// default fault scenario the guarded predictor degrades gracefully —
+// never materially worse than unguarded, and within a bounded distance
+// of the clean baseline even where the unguarded error blows up.
+func TestGuardedMAPEBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay sweep")
+	}
+	const (
+		slackPts = 0.5 // guarded may exceed unguarded by at most this
+		boundPts = 15  // guarded may exceed the clean baseline by at most this
+	)
+	for _, site := range []string{"SPMD", "NPCS"} {
+		cleanSeries := trace(t, site)
+		cleanView := slotView(t, cleanSeries)
+		cleanBase := guardedMAPE(t, cleanView, cleanView)
+		for _, sc := range faults.Scenarios() {
+			corrupted, _, err := faults.Inject(cleanSeries, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			view := slotView(t, corrupted)
+			guarded := guardedMAPE(t, view, cleanView)
+			raw := rawMAPE(t, view, cleanView)
+			t.Logf("%s %v: clean %.2f raw %.2f guarded %.2f", site, sc.Kind, cleanBase, raw, guarded)
+			if guarded > raw+slackPts {
+				t.Errorf("%s %v: guarded %.2f worse than unguarded %.2f",
+					site, sc.Kind, guarded, raw)
+			}
+			if guarded > cleanBase+boundPts {
+				t.Errorf("%s %v: guarded %.2f exceeds clean %.2f by more than %v pts",
+					site, sc.Kind, guarded, cleanBase, boundPts)
+			}
+		}
+	}
+}
+
+// TestDegradationLadder walks the full ladder: a healthy warm guard
+// serves the predictor's forecast; a poisoned stream drives quality
+// below the floor and the forecast falls back to the μD climatology,
+// flagged degraded.
+func TestDegradationLadder(t *testing.T) {
+	v := slotView(t, trace(t, "SPMD"))
+	g := newGuard(t)
+	replay(t, g, v)
+	if g.Degraded() {
+		t.Fatal("degraded after clean replay")
+	}
+	if q := g.Quality(); q != 1 {
+		t.Fatalf("clean quality %v", q)
+	}
+
+	// Poison: a sensor holding one positive value. Every repeat flags
+	// the dropout detector and quality decays toward the floor.
+	for j := 0; j < v.N; j++ {
+		if err := g.Observe(j, 5.0); err != nil {
+			t.Fatalf("poison observe: %v", err)
+		}
+	}
+	if !g.Degraded() {
+		t.Fatalf("quality %v still above floor after a day of held samples", g.Quality())
+	}
+	st := g.Stats()
+	if !st.Degraded || st.DetectedKind(faults.Dropout) == 0 {
+		t.Fatalf("stats don't reflect degradation: %+v", st)
+	}
+
+	f, err := g.Forecast(4)
+	if err != nil {
+		t.Fatalf("degraded forecast: %v", err)
+	}
+	if !f.Degraded {
+		t.Fatal("fallback forecast not flagged degraded")
+	}
+	if f.Quality >= g.Config().MinQuality {
+		t.Fatalf("degraded forecast quality %v above floor", f.Quality)
+	}
+	// The fallback is the μD climatology for the next slots (the last
+	// observed slot is N-1, so the horizon starts at slot 0).
+	for i := range f.Watts {
+		mu, err := g.Predictor().MuD(i % v.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Watts[i] != mu {
+			t.Fatalf("fallback h%d %v != μD %v", i+1, f.Watts[i], mu)
+		}
+	}
+
+	if _, err := g.Forecast(0); err == nil {
+		t.Error("degraded forecast accepted horizon 0")
+	}
+}
+
+func TestDegradedForecastBeforeObserve(t *testing.T) {
+	g, err := guard.New(testN, experiments.GuidelineParams(testN),
+		guard.Config{HoldRun: 2, ZeroRun: 2, ZeroMuFrac: 0.25, SpikeRatio: 3.5,
+			SpikeMuFrac: 0.3, DriftEnvDays: 10, DriftBaseDays: 25, DriftRatio: 0.85,
+			DriftPenalty: 0.1, QualityAlpha: 0.9, MinQuality: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No observations at all: the predictor path errors (not ready) and
+	// the guard reports it rather than inventing a forecast.
+	if _, err := g.Forecast(1); err == nil {
+		t.Error("forecast before any observation succeeded")
+	}
+	// One flagged-free sample, then poison quality below the floor with
+	// a fast EWMA: the fallback path must also refuse h<1 and serve μD
+	// from whatever partial table exists.
+	if err := g.Observe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Observe(1, 1); err != nil { // equal positive pair → dropout flag
+		t.Fatal(err)
+	}
+	if g.Quality() >= 0.7 {
+		t.Fatalf("fast EWMA quality %v not below floor", g.Quality())
+	}
+	f, err := g.Forecast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Degraded {
+		t.Error("fallback not degraded")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	var s guard.Stats
+	if !s.Clean() {
+		t.Error("zero stats not clean")
+	}
+	s.Detected[faults.Spike] = 3
+	if s.Clean() {
+		t.Error("stats with detections reported clean")
+	}
+	if s.DetectedKind(faults.Spike) != 3 {
+		t.Error("DetectedKind lookup failed")
+	}
+	if s.DetectedKind(faults.Kind(99)) != 0 || s.DetectedKind(faults.Kind(-1)) != 0 {
+		t.Error("out-of-range kind not zero")
+	}
+
+	g := newGuard(t)
+	if g.N() != testN {
+		t.Errorf("N %d", g.N())
+	}
+	if g.Config().QualityAlpha != 1.0/testN {
+		t.Errorf("alpha not defaulted: %v", g.Config().QualityAlpha)
+	}
+	if g.Predictor() == nil {
+		t.Error("nil predictor")
+	}
+	if g.Quality() != 1 {
+		t.Error("initial quality not 1")
+	}
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,20 @@ import (
 
 // ErrDraining is returned for work submitted after shutdown began.
 var ErrDraining = errors.New("serve: draining, not accepting new work")
+
+// PanicError is the error a batcher flight's waiters receive when the
+// computation panicked. The panic is contained to the flight: the value
+// and stack are captured here, the flight is evicted (a retry
+// recomputes), and the worker pool survives.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error describes the recovered panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: computation panicked: %v", e.Value)
+}
 
 // Stages carries the timestamps of one request's trip through the
 // batcher: when it was enqueued, when the computation serving it started
@@ -30,7 +46,7 @@ type Stages struct {
 // abandoned caller).
 type batchItem struct {
 	key      string
-	compute  func() (any, error)
+	compute  func(context.Context) (any, error)
 	resp     chan batchResult
 	enqueued time.Time
 }
@@ -50,10 +66,19 @@ type completion struct {
 	dispatched time.Time
 }
 
+// abandonment is the message a Submit whose context expired sends back
+// to the loop so the flight can drop (and possibly cancel) the waiter.
+type abandonment struct {
+	key  string
+	item *batchItem
+}
+
 // flightGroup is the loop's bookkeeping for one in-flight key: every
-// item waiting on it, in arrival order (waiters[0] initiated it).
+// item waiting on it, in arrival order (waiters[0] initiated it), and
+// the cancel handle of the computation's context.
 type flightGroup struct {
 	waiters []*batchItem
+	cancel  context.CancelFunc
 }
 
 // Batcher coalesces concurrent requests for the same key into one
@@ -63,6 +88,13 @@ type flightGroup struct {
 // flight's waiter list; when the computation completes, the loop fans the
 // result out to every waiter's response channel. The loop alone touches
 // the map, so there is no lock on the admission path.
+//
+// Each flight's computation receives a context that is cancelled once
+// every waiter has abandoned the flight (their request contexts expired)
+// — an abandoned computation stops burning a pool slot instead of
+// running to completion for nobody. A computation that panics answers
+// its waiters with a *PanicError and is evicted like any failed flight;
+// the pool slot is released and the loop survives.
 //
 // The batcher sits in front of the store deliberately: expstore's own
 // single flight already deduplicates concurrent computations, but the
@@ -74,6 +106,7 @@ type flightGroup struct {
 type Batcher struct {
 	items       chan *batchItem
 	completions chan completion
+	abandons    chan abandonment
 	quit        chan struct{}
 	stopped     chan struct{}
 	sem         chan struct{}
@@ -82,6 +115,8 @@ type Batcher struct {
 	computations atomic.Uint64
 	coalesced    atomic.Uint64
 	inFlight     atomic.Int64
+	panics       atomic.Uint64
+	abandoned    atomic.Uint64
 }
 
 // BatcherStats is a snapshot of the batcher's counters.
@@ -93,6 +128,12 @@ type BatcherStats struct {
 	Coalesced uint64 `json:"coalesced"`
 	// InFlight is the number of keys currently computing.
 	InFlight int64 `json:"in_flight"`
+	// Panics is the number of computations that panicked (contained and
+	// fanned out as *PanicError).
+	Panics uint64 `json:"panics"`
+	// Abandoned is the number of flights whose waiters all timed out
+	// before the result arrived; their computations were cancelled.
+	Abandoned uint64 `json:"abandoned"`
 }
 
 // NewBatcher starts a batch loop whose compute pool runs at most workers
@@ -101,6 +142,7 @@ func NewBatcher(workers int) *Batcher {
 	b := &Batcher{
 		items:       make(chan *batchItem),
 		completions: make(chan completion),
+		abandons:    make(chan abandonment),
 		quit:        make(chan struct{}),
 		stopped:     make(chan struct{}),
 		sem:         make(chan struct{}, workers),
@@ -113,9 +155,10 @@ func NewBatcher(workers int) *Batcher {
 // returns its result with the request's stage timestamps. Concurrent
 // Submits for the same key share one computation. Submit fails with
 // ErrDraining once Close has begun and with ctx.Err() if the caller's
-// context expires first (the computation itself is not cancelled — its
-// result still answers the other waiters).
-func (b *Batcher) Submit(ctx context.Context, key string, compute func() (any, error)) (any, Stages, error) {
+// context expires first; when the last waiter of a flight gives up this
+// way, the computation's context is cancelled and the flight counts as
+// abandoned.
+func (b *Batcher) Submit(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, Stages, error) {
 	it := &batchItem{
 		key:      key,
 		compute:  compute,
@@ -133,6 +176,14 @@ func (b *Batcher) Submit(ctx context.Context, key string, compute func() (any, e
 	case r := <-it.resp:
 		return r.val, r.stages, r.err
 	case <-ctx.Done():
+		// Tell the loop this waiter is gone so an all-abandoned flight
+		// can be cancelled. The loop drains abandons until it exits; if
+		// it has already exited every flight has answered, so the result
+		// is sitting in it.resp and nothing is left to cancel.
+		select {
+		case b.abandons <- abandonment{key: it.key, item: it}:
+		case <-b.stopped:
+		}
 		return nil, Stages{}, ctx.Err()
 	}
 }
@@ -150,6 +201,8 @@ func (b *Batcher) Stats() BatcherStats {
 		Computations: b.computations.Load(),
 		Coalesced:    b.coalesced.Load(),
 		InFlight:     b.inFlight.Load(),
+		Panics:       b.panics.Load(),
+		Abandoned:    b.abandoned.Load(),
 	}
 }
 
@@ -163,8 +216,15 @@ func (b *Batcher) loop() {
 				close(b.stopped)
 				return
 			}
-			// Admissions are closed; only completions can arrive.
-			b.finish(flights, <-b.completions)
+			// Admissions are closed; completions finish the remaining
+			// flights, and abandons must still be served or a timed-out
+			// waiter would block against an unread channel.
+			select {
+			case c := <-b.completions:
+				b.finish(flights, c)
+			case a := <-b.abandons:
+				b.abandon(flights, a)
+			}
 			continue
 		}
 		select {
@@ -176,31 +236,49 @@ func (b *Batcher) loop() {
 				b.coalesced.Add(1)
 				continue
 			}
-			flights[it.key] = &flightGroup{waiters: []*batchItem{it}}
+			ctx, cancel := context.WithCancel(context.Background())
+			flights[it.key] = &flightGroup{waiters: []*batchItem{it}, cancel: cancel}
 			b.computations.Add(1)
 			b.inFlight.Add(1)
-			go b.run(it.key, it.compute)
+			go b.run(ctx, it.key, it.compute)
 		case c := <-b.completions:
 			b.finish(flights, c)
+		case a := <-b.abandons:
+			b.abandon(flights, a)
 		}
 	}
 }
 
 // run executes one flight's computation on the bounded pool and reports
-// back to the loop.
-func (b *Batcher) run(key string, compute func() (any, error)) {
+// back to the loop. A panic inside compute is contained here: the slot
+// is released by the deferred receive and the waiters get a *PanicError.
+func (b *Batcher) run(ctx context.Context, key string, compute func(context.Context) (any, error)) {
 	b.sem <- struct{}{}
 	dispatched := time.Now()
-	val, err := compute()
+	val, err := b.safeCompute(ctx, compute)
 	<-b.sem
 	b.completions <- completion{key: key, val: val, err: err, dispatched: dispatched}
 }
 
-// finish fans a completed flight's result out to its waiters.
+// safeCompute runs compute, converting a panic into a *PanicError.
+func (b *Batcher) safeCompute(ctx context.Context, compute func(context.Context) (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.panics.Add(1)
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+			val = nil
+		}
+	}()
+	return compute(ctx)
+}
+
+// finish fans a completed flight's result out to its waiters and
+// releases the flight's context.
 func (b *Batcher) finish(flights map[string]*flightGroup, c completion) {
 	g := flights[c.key]
 	delete(flights, c.key)
 	b.inFlight.Add(-1)
+	g.cancel()
 	done := time.Now()
 	for i, it := range g.waiters {
 		it.resp <- batchResult{
@@ -213,5 +291,26 @@ func (b *Batcher) finish(flights map[string]*flightGroup, c completion) {
 				Coalesced:  i > 0,
 			},
 		}
+	}
+}
+
+// abandon removes a timed-out waiter from its flight; when the last
+// waiter leaves, the computation's context is cancelled and the flight
+// counts as abandoned (it still completes through finish — typically
+// fast, with a context error).
+func (b *Batcher) abandon(flights map[string]*flightGroup, a abandonment) {
+	g, ok := flights[a.key]
+	if !ok {
+		return // flight already finished; the result is in the item's resp
+	}
+	for i, it := range g.waiters {
+		if it == a.item {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			break
+		}
+	}
+	if len(g.waiters) == 0 {
+		b.abandoned.Add(1)
+		g.cancel()
 	}
 }

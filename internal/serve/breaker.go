@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateNames maps states to their /v1/stats names.
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// ErrBreakerOpen is returned (wrapped in a *RetryableError) when a key
+// class's circuit breaker is rejecting work.
+var ErrBreakerOpen = errors.New("serve: circuit open, failing fast")
+
+// RetryableError carries a retry hint to the transport layer, which maps
+// it to a Retry-After header. Unwrap exposes the underlying cause.
+type RetryableError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+// Error describes the rejection.
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Unwrap exposes the cause for errors.Is.
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// breaker is a per-key-class circuit breaker. Closed, it passes work
+// through and counts consecutive failures; at the threshold it opens and
+// fails fast for the cooldown; after the cooldown one probe request is
+// let through half-open — success closes the breaker, failure re-opens
+// it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	opens       uint64
+}
+
+// newBreaker builds a closed breaker tripping after threshold
+// consecutive failures and cooling down for cooldown.
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. When it may not, the
+// second result is how long the caller should wait before retrying.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		// Cooldown over: move to half-open and admit this caller as the
+		// single probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			// A probe is already out; everyone else keeps waiting.
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// record folds one admitted request's outcome back into the breaker.
+// Only outcomes for which countsForBreaker is true should be recorded as
+// failures; the service filters before calling.
+func (b *breaker) record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if failed {
+			b.trip()
+		} else {
+			b.state = breakerClosed
+			b.consecutive = 0
+		}
+		return
+	}
+	if failed {
+		b.consecutive++
+		if b.state == breakerClosed && b.consecutive >= b.threshold {
+			b.trip()
+		}
+		return
+	}
+	b.consecutive = 0
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.opens++
+}
+
+// BreakerStats is one key class's breaker snapshot in /v1/stats.
+type BreakerStats struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Opens               uint64 `json:"opens"`
+}
+
+// stats snapshots the breaker.
+func (b *breaker) stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               breakerStateNames[b.state],
+		ConsecutiveFailures: b.consecutive,
+		Opens:               b.opens,
+	}
+}
+
+// countsForBreaker reports whether an error is a server-side computation
+// failure a breaker should count. Client mistakes, cancelled or expired
+// requests, drain rejections and the breaker's own fast failures say
+// nothing about the store's health.
+func countsForBreaker(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsBadRequest(err) ||
+		errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrBreakerOpen) ||
+		errors.Is(err, ErrShed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}

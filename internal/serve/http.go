@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"solarpred/internal/experiments"
 	"solarpred/internal/optimize"
@@ -22,6 +26,10 @@ const (
 
 // endpointNames lists every instrumented endpoint.
 var endpointNames = []string{epHealth, epForecast, epGrid, epTune, epStats, epReset}
+
+// computeEndpoints marks the endpoints that run store computations and
+// therefore sit behind the admission bound and the request deadline.
+var computeEndpoints = map[string]bool{epForecast: true, epGrid: true, epTune: true}
 
 // Handler returns the daemon's HTTP API:
 //
@@ -55,33 +63,81 @@ type errorBody struct {
 }
 
 // instrument wraps a handler with the endpoint's metrics bracket, the
-// drain gate and JSON encoding.
+// drain gate, the admission bound, the server-side request deadline and
+// JSON encoding.
 func (s *Service) instrument(name string, h apiHandler) http.HandlerFunc {
 	m := s.metrics[name]
+	compute := computeEndpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := m.begin()
+		clientCtx := r.Context()
 		if s.draining.Load() && name != epHealth {
 			m.end(start, true)
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: ErrDraining.Error()})
 			return
 		}
+		if compute {
+			// Admission bound: shed rather than queue without limit. The
+			// backlog counts requests between admission and response, so
+			// it bounds queued + computing work end to end.
+			if s.maxBacklog > 0 && s.backlog.Load() >= int64(s.maxBacklog) {
+				m.shed.Add(1)
+				m.end(start, true)
+				writeError(w, http.StatusTooManyRequests,
+					&RetryableError{Err: ErrShed, RetryAfter: time.Second})
+				return
+			}
+			s.backlog.Add(1)
+			defer s.backlog.Add(-1)
+			if s.requestTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
 		v, err := h(r)
 		m.end(start, err != nil)
 		if err != nil {
-			status := http.StatusInternalServerError
-			switch {
-			case IsBadRequest(err):
-				status = http.StatusBadRequest
-			case err == ErrDraining:
-				status = http.StatusServiceUnavailable
-			case r.Context().Err() != nil:
-				status = 499 // client closed request
-			}
-			writeJSON(w, status, errorBody{Error: err.Error()})
+			writeError(w, errorStatus(err, clientCtx), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, v)
 	}
+}
+
+// errorStatus maps a handler error onto its HTTP status. clientCtx is
+// the original request context (before the server deadline was
+// attached), so a deadline blown server-side is distinguishable from a
+// client that went away.
+func errorStatus(err error, clientCtx context.Context) int {
+	switch {
+	case IsBadRequest(err):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBreakerOpen), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case clientCtx.Err() != nil:
+		return 499 // client closed request
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError encodes the error envelope, attaching a Retry-After header
+// when the error carries a retry hint (shed, breaker open).
+func writeError(w http.ResponseWriter, status int, err error) {
+	var re *RetryableError
+	if errors.As(err, &re) {
+		secs := int(math.Ceil(re.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
 // writeJSON encodes v with the proper header and status.

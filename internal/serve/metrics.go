@@ -11,6 +11,7 @@ import (
 type endpointMetrics struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	shed     atomic.Uint64
 	inFlight atomic.Int64
 	totalNs  atomic.Int64
 	maxNs    atomic.Int64
@@ -44,6 +45,9 @@ func (m *endpointMetrics) end(start time.Time, failed bool) {
 type EndpointStats struct {
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
+	// Shed counts requests rejected with 429 by the admission bound
+	// (also included in Errors).
+	Shed     uint64 `json:"shed"`
 	InFlight int64  `json:"in_flight"`
 	// MeanMs is the mean served latency over all requests so far.
 	MeanMs float64 `json:"mean_ms"`
@@ -59,6 +63,7 @@ func (m *endpointMetrics) snapshot(uptime time.Duration) EndpointStats {
 	s := EndpointStats{
 		Requests: m.requests.Load(),
 		Errors:   m.errors.Load(),
+		Shed:     m.shed.Load(),
 		InFlight: m.inFlight.Load(),
 		MaxMs:    float64(m.maxNs.Load()) / 1e6,
 	}

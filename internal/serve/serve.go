@@ -9,17 +9,33 @@
 //     drivers, so a repro run and the daemon warm the same entries);
 //   - Batcher coalesces concurrent requests for the same (site, N,
 //     space, ref) tuple into one store computation, bounds how many
-//     computations run at once, and stamps each request's queue/compute
-//     stages;
-//   - Service owns the request semantics (forecast replay, grid/tune
-//     conversion, admin reset) and the per-endpoint metrics;
-//   - the HTTP handlers in http.go parse, instrument and encode.
+//     computations run at once, stamps each request's queue/compute
+//     stages, cancels computations every waiter has abandoned, and
+//     contains panics to the flight that raised them;
+//   - Service owns the request semantics (guarded forecast replay,
+//     grid/tune conversion, admin reset), the per-key-class circuit
+//     breakers, the stale-forecast fallback and the per-endpoint
+//     metrics;
+//   - the HTTP handlers in http.go parse, shed load past the backlog
+//     bound (429 + Retry-After), enforce the server-side request
+//     deadline, instrument and encode.
 //
-// Forecasts follow core.Predictor's ownership contract: a predictor is
-// replayed over a site's cached slot view inside the single computing
-// goroutine of a batcher flight, then published read-only — every
-// subsequent forecast for the tuple calls the predictor's non-mutating
-// Forecast. Observe is never exposed over the API.
+// Forecasts run behind guard.Guard, the online input-quality gate: the
+// guard is replayed over a site's cached slot view inside the single
+// computing goroutine of a batcher flight, then published read-only —
+// every subsequent forecast for the tuple calls the guard's non-mutating
+// Forecast. Observe is never exposed over the API. On the generator's
+// clean traces the guard is invisible (forecasts bit-identical to a raw
+// core.Predictor); on damaged inputs it repairs what it can and falls
+// back to the μD climatology, surfacing degraded: true.
+//
+// Failure ladder, outside in: a request beyond the admission bound is
+// shed with 429 before touching compute; a key class whose computations
+// keep failing trips its circuit breaker and fails fast with 503 +
+// Retry-After (forecasts serve the last-good cached result flagged
+// degraded+stale instead, while the breaker recovers through a half-open
+// probe); a computation that outlives the server deadline returns 504
+// and is cancelled once its last waiter gives up.
 package serve
 
 import (
@@ -36,8 +52,28 @@ import (
 	"solarpred/internal/dataset"
 	"solarpred/internal/experiments"
 	"solarpred/internal/expstore"
+	"solarpred/internal/guard"
 	"solarpred/internal/optimize"
 	"solarpred/internal/timeseries"
+)
+
+// ErrShed is returned (wrapped in a *RetryableError) when the admission
+// backlog is full and the request was shed, mapped to 429.
+var ErrShed = errors.New("serve: overloaded, shedding load")
+
+// Defaults for the robustness knobs.
+const (
+	// DefaultMaxBacklog bounds how many compute requests may be admitted
+	// concurrently before new ones are shed with 429.
+	DefaultMaxBacklog = 256
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// trips a key class's circuit breaker.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long a tripped breaker fails fast
+	// before admitting a half-open probe.
+	DefaultBreakerCooldown = 5 * time.Second
+	// staleCap bounds the stale-forecast fallback cache.
+	staleCap = 256
 )
 
 // Config scopes a Service.
@@ -49,7 +85,28 @@ type Config struct {
 	// Workers bounds how many store computations the batcher runs
 	// concurrently; 0 means GOMAXPROCS.
 	Workers int
+	// RequestTimeout is the server-side deadline applied to each compute
+	// request (forecast/grid/tune); 0 disables it.
+	RequestTimeout time.Duration
+	// MaxBacklog bounds concurrently admitted compute requests; past it
+	// new ones are shed with 429 + Retry-After. 0 means
+	// DefaultMaxBacklog; negative disables shedding.
+	MaxBacklog int
+	// BreakerThreshold and BreakerCooldown tune the per-key-class
+	// circuit breakers; zero values take the defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Guard configures the input-quality gate forecasts run behind; the
+	// zero value means guard.DefaultConfig.
+	Guard guard.Config
 }
+
+// Breaker key classes: forecasts and grid-shaped work (grid + tune) fail
+// independently, so each class trips on its own.
+const (
+	classForecast = "forecast"
+	classGrid     = "grid"
+)
 
 // Service is the daemon's request layer over one experiment store.
 // Construct with New; stop with BeginDrain followed by Close.
@@ -60,15 +117,31 @@ type Service struct {
 	started  time.Time
 	draining atomic.Bool
 
+	requestTimeout time.Duration
+	maxBacklog     int
+	backlog        atomic.Int64
+	guardCfg       guard.Config
+
+	// breakers is a fixed class → breaker map, built once in New and
+	// read-only afterwards (each breaker has its own lock).
+	breakers map[string]*breaker
+
 	// metrics is a fixed endpoint-name → counters map, built once in New
 	// and read-only afterwards.
 	metrics map[string]*endpointMetrics
 
-	// preds holds replayed predictors published read-only, keyed by
-	// (site, days, N, params). Populated under batcher flights; flushed
-	// by Reset.
+	// preds holds replayed guarded predictors published read-only, keyed
+	// by (site, days, N, params). Populated under batcher flights;
+	// flushed by Reset.
 	predMu sync.Mutex
-	preds  map[string]*core.Predictor
+	preds  map[string]*guard.Guard
+
+	// stale is the last-good forecast per tuple, served flagged
+	// degraded+stale while the forecast breaker is open. It deliberately
+	// survives Reset — it is the degraded-mode safety net, not a cache
+	// of record — and is bounded at staleCap entries.
+	staleMu sync.Mutex
+	stale   map[string]*ForecastResult
 }
 
 // New validates the configuration and starts the service's batch loop.
@@ -85,12 +158,42 @@ func New(cfg Config) (*Service, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	maxBacklog := cfg.MaxBacklog
+	switch {
+	case maxBacklog == 0:
+		maxBacklog = DefaultMaxBacklog
+	case maxBacklog < 0:
+		maxBacklog = 0 // disabled
+	}
+	threshold := cfg.BreakerThreshold
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	guardCfg := cfg.Guard
+	if guardCfg == (guard.Config{}) {
+		guardCfg = guard.DefaultConfig()
+	}
+	if err := guardCfg.Validate(); err != nil {
+		return nil, err
+	}
 	s := &Service{
-		cfg:     cfg.Exp,
-		store:   store,
-		batcher: NewBatcher(workers),
-		started: time.Now(),
-		preds:   make(map[string]*core.Predictor),
+		cfg:            cfg.Exp,
+		store:          store,
+		batcher:        NewBatcher(workers),
+		started:        time.Now(),
+		requestTimeout: cfg.RequestTimeout,
+		maxBacklog:     maxBacklog,
+		guardCfg:       guardCfg,
+		breakers: map[string]*breaker{
+			classForecast: newBreaker(threshold, cooldown),
+			classGrid:     newBreaker(threshold, cooldown),
+		},
+		preds:   make(map[string]*guard.Guard),
+		stale:   make(map[string]*ForecastResult),
 		metrics: make(map[string]*endpointMetrics),
 	}
 	for _, ep := range endpointNames {
@@ -175,12 +278,23 @@ type ForecastResult struct {
 	NextSlot    int       `json:"next_slot"`
 	Horizon     int       `json:"horizon"`
 	Watts       []float64 `json:"watts"`
+	// Degraded marks a forecast that did not come from the healthy
+	// predictor path: the guard fell back to the μD climatology, or the
+	// breaker served a stale result.
+	Degraded bool `json:"degraded,omitempty"`
+	// Stale marks a last-good cached forecast served while the forecast
+	// breaker is open.
+	Stale bool `json:"stale,omitempty"`
+	// Quality is the guard's input-quality score for the tuple in [0,1].
+	Quality float64 `json:"quality"`
 }
 
 // Forecast serves the next horizon slot forecasts for a site at sampling
-// rate n under the given predictor parameters, replaying the predictor
-// over the site's cached slot view on first use and reusing the
-// published read-only predictor afterwards.
+// rate n under the given predictor parameters, replaying the guarded
+// predictor over the site's cached slot view on first use and reusing
+// the published read-only guard afterwards. While the forecast breaker
+// is open, the last-good result for the tuple is served flagged
+// degraded+stale if one exists.
 func (s *Service) Forecast(ctx context.Context, site string, n, horizon int, params core.Params) (*ForecastResult, error) {
 	if err := s.checkSiteN(site, n); err != nil {
 		return nil, err
@@ -194,11 +308,34 @@ func (s *Service) Forecast(ctx context.Context, site string, n, horizon int, par
 	if params.K > n {
 		return nil, badf("k=%d exceeds n=%d", params.K, n)
 	}
-	p, err := s.predictor(ctx, site, n, params)
+	key := s.forecastKey(site, n, horizon, params)
+	br := s.breakers[classForecast]
+	if ok, retry := br.allow(); !ok {
+		if res := s.staleFor(key); res != nil {
+			return res, nil
+		}
+		return nil, &RetryableError{Err: ErrBreakerOpen, RetryAfter: retry}
+	}
+	res, err := s.forecast(ctx, site, n, horizon, params)
+	if countsForBreaker(err) {
+		br.record(true)
+	} else if err == nil {
+		br.record(false)
+	}
 	if err != nil {
 		return nil, err
 	}
-	watts, err := p.Forecast(horizon)
+	s.keepStale(key, res)
+	return res, nil
+}
+
+// forecast is the breaker-guarded body of Forecast.
+func (s *Service) forecast(ctx context.Context, site string, n, horizon int, params core.Params) (*ForecastResult, error) {
+	g, err := s.predictor(ctx, site, n, params)
+	if err != nil {
+		return nil, err
+	}
+	f, err := g.Forecast(horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -211,59 +348,119 @@ func (s *Service) Forecast(ctx context.Context, site string, n, horizon int, par
 		N:           n,
 		SlotMinutes: view.SlotMinutes,
 		Params:      Params{Alpha: params.Alpha, D: params.D, K: params.K},
-		HistoryDays: p.HistoryDays(),
+		HistoryDays: g.Predictor().HistoryDays(),
 		NextSlot:    view.TotalSlots() % n,
 		Horizon:     horizon,
-		Watts:       watts,
+		Watts:       f.Watts,
+		Degraded:    f.Degraded,
+		Quality:     f.Quality,
 	}, nil
 }
 
-// predictor returns the published predictor for (site, n, params),
-// replaying it under a batcher flight on first use. Concurrent first
-// requests for one tuple coalesce into a single replay.
-func (s *Service) predictor(ctx context.Context, site string, n int, params core.Params) (*core.Predictor, error) {
+// forecastKey identifies a forecast tuple for the stale cache.
+func (s *Service) forecastKey(site string, n, horizon int, params core.Params) string {
+	return fmt.Sprintf("f|%s|%d|%d|%d|a%s,d%d,k%d",
+		site, s.cfg.Days, n, horizon, fkey(params.Alpha), params.D, params.K)
+}
+
+// staleFor returns a degraded copy of the tuple's last-good forecast.
+func (s *Service) staleFor(key string) *ForecastResult {
+	s.staleMu.Lock()
+	last, ok := s.stale[key]
+	s.staleMu.Unlock()
+	if !ok {
+		return nil
+	}
+	res := *last // Watts is shared read-only
+	res.Degraded = true
+	res.Stale = true
+	return &res
+}
+
+// keepStale records the tuple's last-good forecast for the breaker-open
+// fallback. Degraded results are not kept — the fallback must be the
+// last *healthy* answer. The cache is bounded: at capacity an arbitrary
+// entry is dropped (any last-good answer beats refusing service).
+func (s *Service) keepStale(key string, res *ForecastResult) {
+	if res.Degraded {
+		return
+	}
+	s.staleMu.Lock()
+	if _, ok := s.stale[key]; !ok && len(s.stale) >= staleCap {
+		for k := range s.stale {
+			delete(s.stale, k)
+			break
+		}
+	}
+	s.stale[key] = res
+	s.staleMu.Unlock()
+}
+
+// predictor returns the published guarded predictor for (site, n,
+// params), replaying it under a batcher flight on first use. Concurrent
+// first requests for one tuple coalesce into a single replay.
+func (s *Service) predictor(ctx context.Context, site string, n int, params core.Params) (*guard.Guard, error) {
 	key := fmt.Sprintf("pred|%s|%d|%d|a%s,d%d,k%d",
 		site, s.cfg.Days, n, fkey(params.Alpha), params.D, params.K)
 	s.predMu.Lock()
-	p, ok := s.preds[key]
+	g, ok := s.preds[key]
 	s.predMu.Unlock()
 	if ok {
-		return p, nil
+		return g, nil
 	}
-	v, _, err := s.batcher.Submit(ctx, key, func() (any, error) {
-		return s.replay(site, n, params)
+	v, _, err := s.batcher.Submit(ctx, key, func(fctx context.Context) (any, error) {
+		return s.replay(fctx, site, n, params)
 	})
 	if err != nil {
 		return nil, err
 	}
-	p = v.(*core.Predictor)
-	// Publish: from here on the predictor is read-only (storing the same
+	g = v.(*guard.Guard)
+	// Publish: from here on the guard is read-only (storing the same
 	// pointer twice from coalesced waiters is idempotent).
 	s.predMu.Lock()
-	s.preds[key] = p
+	s.preds[key] = g
 	s.predMu.Unlock()
-	return p, nil
+	return g, nil
 }
 
-// replay is the session-ownership step of core.Predictor's contract: the
-// predictor is constructed and fed the site's whole observation stream
-// inside the single computing goroutine of a batcher flight, before
-// being published read-only.
-func (s *Service) replay(site string, n int, params core.Params) (*core.Predictor, error) {
+// replay is the session-ownership step of the guard's contract: the
+// guarded predictor is constructed and fed the site's whole observation
+// stream inside the single computing goroutine of a batcher flight,
+// before being published read-only. The flight context is polled at day
+// boundaries so an abandoned replay stops instead of finishing for
+// nobody.
+func (s *Service) replay(ctx context.Context, site string, n int, params core.Params) (*guard.Guard, error) {
 	view, err := s.store.View(site, s.cfg.Days, n)
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.New(n, params)
+	g, err := guard.New(n, params, s.guardCfg)
 	if err != nil {
 		return nil, err
 	}
 	for t := 0; t < view.TotalSlots(); t++ {
-		if err := p.Observe(t%n, view.Start[t]); err != nil {
+		if t%n == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if err := g.Observe(t%n, view.Start[t]); err != nil {
 			return nil, err
 		}
 	}
-	return p, nil
+	return g, nil
+}
+
+// GuardStats returns the published guard's detector snapshot for a
+// tuple, if its replay has happened (same key as predictor).
+func (s *Service) GuardStats(site string, n int, params core.Params) (guard.Stats, bool) {
+	key := fmt.Sprintf("pred|%s|%d|%d|a%s,d%d,k%d",
+		site, s.cfg.Days, n, fkey(params.Alpha), params.D, params.K)
+	s.predMu.Lock()
+	g, ok := s.preds[key]
+	s.predMu.Unlock()
+	if !ok {
+		return guard.Stats{}, false
+	}
+	return g.Stats(), true
 }
 
 // --- Grid and tune ----------------------------------------------------------
@@ -309,7 +506,8 @@ func (s *Service) gridKey(site string, n int, space optimize.Space, ref optimize
 		site, s.cfg.Days, n, s.cfg.EvalOptions().Fingerprint(), expstore.SpaceFingerprint(space), int(ref))
 }
 
-// grid runs the store's grid search for the tuple under the batcher.
+// grid runs the store's grid search for the tuple under the batcher and
+// the grid-class breaker.
 func (s *Service) grid(ctx context.Context, site string, n int, space optimize.Space, ref optimize.RefKind) (*optimize.SearchResult, error) {
 	if err := s.checkSiteN(site, n); err != nil {
 		return nil, err
@@ -322,9 +520,23 @@ func (s *Service) grid(ctx context.Context, site string, n int, space optimize.S
 			return nil, badf("space D=%d exceeds warm-up %d", d, s.cfg.WarmupDays)
 		}
 	}
-	v, _, err := s.batcher.Submit(ctx, s.gridKey(site, n, space, ref), func() (any, error) {
+	br := s.breakers[classGrid]
+	if ok, retry := br.allow(); !ok {
+		return nil, &RetryableError{Err: ErrBreakerOpen, RetryAfter: retry}
+	}
+	v, _, err := s.batcher.Submit(ctx, s.gridKey(site, n, space, ref), func(fctx context.Context) (any, error) {
+		// The store's grid search is not interruptible mid-sweep; honor
+		// an already-abandoned flight before starting the expensive part.
+		if err := fctx.Err(); err != nil {
+			return nil, err
+		}
 		return s.store.Grid(site, s.cfg.Days, n, s.cfg.EvalOptions(), space, ref)
 	})
+	if countsForBreaker(err) {
+		br.record(true)
+	} else if err == nil {
+		br.record(false)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -406,36 +618,49 @@ func (s *Service) Tune(ctx context.Context, site string, n int, space optimize.S
 type StatsResult struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Draining      bool                     `json:"draining"`
+	Backlog       int64                    `json:"backlog"`
+	MaxBacklog    int                      `json:"max_backlog"`
 	Store         expstore.Stats           `json:"store"`
 	StoreEntries  int                      `json:"store_entries"`
 	Batcher       BatcherStats             `json:"batcher"`
+	Breakers      map[string]BreakerStats  `json:"breakers"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
-// Stats snapshots the service: uptime, store counters, batcher counters
-// and per-endpoint latency/throughput/in-flight metrics.
+// Stats snapshots the service: uptime, admission backlog, store
+// counters, batcher counters, breaker states and per-endpoint
+// latency/throughput/in-flight metrics.
 func (s *Service) Stats() StatsResult {
 	uptime := time.Since(s.started)
 	eps := make(map[string]EndpointStats, len(s.metrics))
 	for name, m := range s.metrics {
 		eps[name] = m.snapshot(uptime)
 	}
+	brs := make(map[string]BreakerStats, len(s.breakers))
+	for class, b := range s.breakers {
+		brs[class] = b.stats()
+	}
 	return StatsResult{
 		UptimeSeconds: uptime.Seconds(),
 		Draining:      s.draining.Load(),
+		Backlog:       s.backlog.Load(),
+		MaxBacklog:    s.maxBacklog,
 		Store:         s.store.Stats(),
 		StoreEntries:  s.store.Len(),
 		Batcher:       s.batcher.Stats(),
+		Breakers:      brs,
 		Endpoints:     eps,
 	}
 }
 
 // Reset is the admin cache flush: it drops the store's entries and the
 // published predictors. Safe under live load — the store's Reset is
-// concurrency-safe and readers holding old objects keep them.
+// concurrency-safe and readers holding old objects keep them. The stale
+// forecast cache deliberately survives (it is the degraded-mode safety
+// net for the freshly-cold cache).
 func (s *Service) Reset() {
 	s.store.Reset()
 	s.predMu.Lock()
-	s.preds = make(map[string]*core.Predictor)
+	s.preds = make(map[string]*guard.Guard)
 	s.predMu.Unlock()
 }

@@ -76,7 +76,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], stages[i], errs[i] = b.Submit(context.Background(), "tuple", func() (any, error) {
+			results[i], stages[i], errs[i] = b.Submit(context.Background(), "tuple", func(context.Context) (any, error) {
 				computes.Add(1)
 				<-gate
 				return 42, nil
@@ -129,7 +129,7 @@ func TestBatcherDistinctKeysRunIndependently(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			key := fmt.Sprintf("k%d", i%3)
-			if _, _, err := b.Submit(context.Background(), key, func() (any, error) {
+			if _, _, err := b.Submit(context.Background(), key, func(context.Context) (any, error) {
 				computes.Add(1)
 				time.Sleep(2 * time.Millisecond)
 				return key, nil
@@ -153,7 +153,7 @@ func TestBatcherErrorFansOut(t *testing.T) {
 	errCh := make(chan error, clients)
 	for i := 0; i < clients; i++ {
 		go func() {
-			_, _, err := b.Submit(context.Background(), "bad", func() (any, error) {
+			_, _, err := b.Submit(context.Background(), "bad", func(context.Context) (any, error) {
 				<-gate
 				return nil, boom
 			})
@@ -170,7 +170,7 @@ func TestBatcherErrorFansOut(t *testing.T) {
 		}
 	}
 	// The flight is gone: a retry dispatches a fresh computation.
-	v, _, err := b.Submit(context.Background(), "bad", func() (any, error) { return "ok", nil })
+	v, _, err := b.Submit(context.Background(), "bad", func(context.Context) (any, error) { return "ok", nil })
 	if err != nil || v != "ok" {
 		t.Fatalf("retry after failed flight: %v, %v", v, err)
 	}
@@ -181,7 +181,7 @@ func TestBatcherCloseDrains(t *testing.T) {
 	gate := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := b.Submit(context.Background(), "slow", func() (any, error) {
+		_, _, err := b.Submit(context.Background(), "slow", func(context.Context) (any, error) {
 			<-gate
 			return nil, nil
 		})
@@ -197,7 +197,7 @@ func TestBatcherCloseDrains(t *testing.T) {
 	}()
 	// New work is rejected while the old flight drains.
 	for {
-		_, _, err := b.Submit(context.Background(), "new", func() (any, error) { return nil, nil })
+		_, _, err := b.Submit(context.Background(), "new", func(context.Context) (any, error) { return nil, nil })
 		if errors.Is(err, ErrDraining) {
 			break
 		}
@@ -220,13 +220,13 @@ func TestBatcherSubmitContextCancelled(t *testing.T) {
 	defer b.Close()
 	gate := make(chan struct{})
 	defer close(gate)
-	go b.Submit(context.Background(), "hold", func() (any, error) { <-gate; return nil, nil })
+	go b.Submit(context.Background(), "hold", func(context.Context) (any, error) { <-gate; return nil, nil })
 	for b.Stats().InFlight == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := b.Submit(ctx, "hold", func() (any, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
+	if _, _, err := b.Submit(ctx, "hold", func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
@@ -562,7 +562,7 @@ func TestServiceGracefulDrain(t *testing.T) {
 		t.Fatalf("stats during drain = %d", code)
 	}
 	svc.Close()
-	if _, _, err := svc.Batcher().Submit(context.Background(), "x", func() (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+	if _, _, err := svc.Batcher().Submit(context.Background(), "x", func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
 		t.Fatalf("submit after close: %v", err)
 	}
 }
