@@ -303,7 +303,12 @@ func (g *Guard) Observe(slot int, power float64) error {
 	}
 	g.samples++
 	g.slot = slot + 1
-	if power > g.dayPeak {
+	// The clear-sky envelope only trusts unflagged samples: a spike —
+	// even clamped, since SpikeRatio·μ can exceed a genuine peak — must
+	// not inflate the day's peak, or one impulse props the env/base
+	// ratio up for DriftBaseDays and masks a concurrent gain-drift
+	// alarm.
+	if !flagged && power > g.dayPeak {
 		g.dayPeak = power
 	}
 	if !flagged && power > 0 {

@@ -221,6 +221,56 @@ func TestDetectorInjectorDuality(t *testing.T) {
 	}
 }
 
+// TestSpikesDoNotMaskGainDrift layers a daily spike on top of an
+// attenuating gain drift: the envelope ring must ignore flagged
+// samples, or the spike's raw value becomes the day's peak, props the
+// env/base ratio back above DriftRatio, and silences the drift alarm
+// for as long as the spikes keep coming.
+func TestSpikesDoNotMaskGainDrift(t *testing.T) {
+	const n = 8
+	// SpikeRatio 2 keeps the daily impulse detected throughout the drift
+	// window: the clamp value feeds the μD table, so a higher ratio lets
+	// the detection threshold outgrow the impulse after a couple of days.
+	cfg := guard.Config{
+		HoldRun: 2, ZeroRun: 2, ZeroMuFrac: 0.25,
+		SpikeRatio: 2, SpikeMuFrac: 0.3,
+		DriftEnvDays: 3, DriftBaseDays: 8, DriftRatio: 0.85,
+		DriftPenalty: 0.1, MinQuality: 0.7,
+	}
+	g, err := guard.New(n, core.Params{Alpha: 0.5, D: 4, K: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := []float64{0, 100, 200, 300, 250, 150, 50, 0}
+	feed := func(scale float64, spikeSlot int) {
+		t.Helper()
+		for j := 0; j < n; j++ {
+			x := day[j] * scale
+			if j == spikeSlot {
+				x = 5000 // far above SpikeRatio·μ for the slot
+			}
+			if err := g.Observe(j, x); err != nil {
+				t.Fatalf("observe slot %d: %v", j, err)
+			}
+		}
+	}
+	// Warm at full gain, then drift to half amplitude with one impulse
+	// spike per day landing in a bright slot of the env window.
+	for d := 0; d < 10; d++ {
+		feed(1, -1)
+	}
+	for d := 0; d < 6; d++ {
+		feed(0.5, 3)
+	}
+	st := g.Stats()
+	if st.DetectedKind(faults.Spike) == 0 {
+		t.Fatalf("spikes fed but detector silent: %+v", st)
+	}
+	if st.DetectedKind(faults.GainDrift) == 0 || !st.DriftActive {
+		t.Fatalf("gain drift masked by concurrent spikes: %+v", st)
+	}
+}
+
 // scoreMAPE replays the corrupted slot-start stream through observe and
 // scores each 1-step forecast against the *clean* slot means (the energy
 // actually delivered does not care about the sensor fault), over the

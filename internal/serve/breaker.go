@@ -115,6 +115,20 @@ func (b *breaker) record(failed bool) {
 	b.consecutive = 0
 }
 
+// release resolves an admitted request whose outcome says nothing about
+// the downstream's health (cancellation, server deadline, drain). If
+// that request was the half-open probe, the probe slot is re-armed so
+// the next allow() admits a fresh probe — without this, a probe whose
+// client went away would leave probing set forever and wedge the class
+// open. Neutral in every other state.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // trip opens the breaker. Callers hold b.mu.
 func (b *breaker) trip() {
 	b.state = breakerOpen
@@ -137,6 +151,22 @@ func (b *breaker) stats() BreakerStats {
 		State:               breakerStateNames[b.state],
 		ConsecutiveFailures: b.consecutive,
 		Opens:               b.opens,
+	}
+}
+
+// resolveBreaker folds an admitted request's outcome back into its
+// breaker. Every admitted request must resolve exactly once: success and
+// counted failures are recorded, and neutral errors (cancellation,
+// deadline, drain, the breaker's own fast failures) release the probe
+// slot so a half-open breaker cannot wedge on a client that went away.
+func resolveBreaker(br *breaker, err error) {
+	switch {
+	case err == nil:
+		br.record(false)
+	case countsForBreaker(err):
+		br.record(true)
+	default:
+		br.release()
 	}
 }
 

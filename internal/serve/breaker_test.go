@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerProbeReleasedOnNeutralError: a half-open probe whose
+// request ends with an outcome that says nothing about the downstream
+// (client cancellation, server deadline, drain) must re-arm the probe
+// slot. Before resolveBreaker released it, such a probe left probing set
+// forever and the class served 503/stale until restart.
+func TestBreakerProbeReleasedOnNeutralError(t *testing.T) {
+	b := newBreaker(1, time.Hour)
+	base := time.Now()
+	var offset time.Duration
+	b.now = func() time.Time { return base.Add(offset) }
+
+	resolveBreaker(b, errors.New("chaos: store down")) // trip (threshold 1)
+	if st := b.stats(); st.State != "open" {
+		t.Fatalf("breaker after failure: %+v", st)
+	}
+
+	offset = 2 * time.Hour
+	for i, neutral := range []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		ErrDraining,
+	} {
+		ok, _ := b.allow()
+		if !ok {
+			t.Fatalf("round %d: probe not admitted", i)
+		}
+		// Everyone else is held while the probe is out.
+		if ok, _ := b.allow(); ok {
+			t.Fatalf("round %d: second probe admitted concurrently", i)
+		}
+		resolveBreaker(b, neutral)
+		if st := b.stats(); st.State != "half-open" {
+			t.Fatalf("round %d: state after neutral probe outcome: %+v", i, st)
+		}
+	}
+
+	// The slot is free again: a real probe gets through and closes.
+	ok, _ := b.allow()
+	if !ok {
+		t.Fatal("probe slot still held after neutral outcomes: breaker wedged")
+	}
+	resolveBreaker(b, nil)
+	if st := b.stats(); st.State != "closed" {
+		t.Fatalf("breaker after successful probe: %+v", st)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a counted failure on the probe
+// re-opens for another cooldown, and release is a no-op outside
+// half-open.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := newBreaker(1, time.Hour)
+	base := time.Now()
+	var offset time.Duration
+	b.now = func() time.Time { return base.Add(offset) }
+
+	resolveBreaker(b, errors.New("down"))
+	offset = 2 * time.Hour
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe not admitted")
+	}
+	resolveBreaker(b, errors.New("still down"))
+	if st := b.stats(); st.State != "open" || st.Opens != 2 {
+		t.Fatalf("breaker after failed probe: %+v", st)
+	}
+
+	b.release() // neutral resolution while open must not corrupt state
+	if st := b.stats(); st.State != "open" {
+		t.Fatalf("release while open changed state: %+v", st)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker admitted work inside cooldown")
+	}
+}

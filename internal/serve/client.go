@@ -31,8 +31,9 @@ type Client struct {
 	// MaxRetries bounds retry attempts after the first try; 0 means 4.
 	MaxRetries int
 	// Backoff is the base backoff step; 0 means 100ms. Attempt i waits
-	// a uniform random duration in [0, Backoff·2^i] — full jitter —
-	// unless the server sent a Retry-After, which wins.
+	// a uniform random duration in [0, min(Backoff·2^i, 30s)] — full
+	// jitter with a capped ceiling — unless the server sent a
+	// Retry-After, which wins.
 	Backoff time.Duration
 
 	// sleep is injectable for tests; nil means a real timer.
@@ -166,13 +167,25 @@ func (c *Client) once(ctx context.Context, path string) (int, []byte, time.Durat
 	return resp.StatusCode, body, parseRetryAfter(resp.Header.Get("Retry-After")), nil
 }
 
+// maxBackoff caps the jitter ceiling: past it, more doubling only
+// delays recovery, and the shift below would overflow int64 for large
+// user-set MaxRetries.
+const maxBackoff = 30 * time.Second
+
 // backoff draws the full-jitter wait for an attempt.
 func (c *Client) backoff(attempt int) time.Duration {
 	base := c.Backoff
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
-	ceiling := base << uint(attempt)
+	shift := uint(attempt)
+	if attempt > 30 {
+		shift = 30
+	}
+	ceiling := base << shift
+	if ceiling <= 0 || ceiling > maxBackoff {
+		ceiling = maxBackoff
+	}
 	c.mu.Lock()
 	if c.rng == nil {
 		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))

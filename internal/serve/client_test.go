@@ -81,6 +81,27 @@ func TestClientBackoffJitterWithoutHint(t *testing.T) {
 	}
 }
 
+// TestClientBackoffCeilingClamped: large attempt numbers (user-set
+// MaxRetries beyond the int64 shift range) must neither overflow into a
+// negative jitter ceiling (rand.Int63n panics) nor exceed maxBackoff.
+func TestClientBackoffCeilingClamped(t *testing.T) {
+	c := &Client{}
+	for _, attempt := range []int{0, 20, 33, 40, 64, 1 << 20} {
+		d := c.backoff(attempt) // must not panic
+		if d < 0 || d > maxBackoff {
+			t.Fatalf("backoff(%d) = %v, want in [0, %v]", attempt, d, maxBackoff)
+		}
+	}
+	// A huge user Backoff overflows even at a clamped shift; still capped.
+	big := &Client{Backoff: 4 * time.Hour}
+	for _, attempt := range []int{25, 40} {
+		d := big.backoff(attempt)
+		if d < 0 || d > maxBackoff {
+			t.Fatalf("big backoff(%d) = %v, want in [0, %v]", attempt, d, maxBackoff)
+		}
+	}
+}
+
 func TestClientNoRetryOnClientError(t *testing.T) {
 	var calls atomic.Int64
 	c, sleeps := scriptedClient(t, func(w http.ResponseWriter, r *http.Request) {

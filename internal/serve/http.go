@@ -79,16 +79,18 @@ func (s *Service) instrument(name string, h apiHandler) http.HandlerFunc {
 		if compute {
 			// Admission bound: shed rather than queue without limit. The
 			// backlog counts requests between admission and response, so
-			// it bounds queued + computing work end to end.
-			if s.maxBacklog > 0 && s.backlog.Load() >= int64(s.maxBacklog) {
+			// it bounds queued + computing work end to end. Increment
+			// first and shed on the result — a load-then-add check would
+			// let concurrent racers all pass the bound.
+			n := s.backlog.Add(1)
+			defer s.backlog.Add(-1)
+			if s.maxBacklog > 0 && n > int64(s.maxBacklog) {
 				m.shed.Add(1)
 				m.end(start, true)
 				writeError(w, http.StatusTooManyRequests,
 					&RetryableError{Err: ErrShed, RetryAfter: time.Second})
 				return
 			}
-			s.backlog.Add(1)
-			defer s.backlog.Add(-1)
 			if s.requestTimeout > 0 {
 				ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
 				defer cancel()

@@ -317,11 +317,7 @@ func (s *Service) Forecast(ctx context.Context, site string, n, horizon int, par
 		return nil, &RetryableError{Err: ErrBreakerOpen, RetryAfter: retry}
 	}
 	res, err := s.forecast(ctx, site, n, horizon, params)
-	if countsForBreaker(err) {
-		br.record(true)
-	} else if err == nil {
-		br.record(false)
-	}
+	resolveBreaker(br, err)
 	if err != nil {
 		return nil, err
 	}
@@ -532,11 +528,7 @@ func (s *Service) grid(ctx context.Context, site string, n int, space optimize.S
 		}
 		return s.store.Grid(site, s.cfg.Days, n, s.cfg.EvalOptions(), space, ref)
 	})
-	if countsForBreaker(err) {
-		br.record(true)
-	} else if err == nil {
-		br.record(false)
-	}
+	resolveBreaker(br, err)
 	if err != nil {
 		return nil, err
 	}
