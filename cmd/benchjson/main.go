@@ -26,6 +26,7 @@ import (
 	"solarpred/internal/dataset"
 	"solarpred/internal/experiments"
 	"solarpred/internal/expstore"
+	"solarpred/internal/fleet"
 	"solarpred/internal/guard"
 	"solarpred/internal/optimize"
 	"solarpred/internal/serve"
@@ -58,6 +59,10 @@ type Result struct {
 	// must stay flat as K grows.
 	NsPerPred   float64 `json:"ns_per_pred,omitempty"`
 	PredsPerSec float64 `json:"preds_per_sec,omitempty"`
+	// NodesPerSec is the fleet-simulation throughput in virtual nodes per
+	// second (FleetSim* entries only); their NsPerPred is ns per
+	// node-slot.
+	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
 }
 
 // Report is the whole emitted document.
@@ -313,6 +318,38 @@ func run(path string, iters int) error {
 		}); err != nil {
 			return err
 		}
+	}
+
+	// Fleet-scale closed loop: the sharded fleet simulator at a reduced
+	// scale, sweeping the fleet size. NsPerPred is ns per node-slot (the
+	// per-slot cost of sampling, predicting and stepping one virtual
+	// node); NodesPerSec is end-to-end fleet throughput. The site set and
+	// trace store are shared across entries, so the entries price the
+	// simulation itself, not trace generation.
+	fleetBase := fleet.DefaultConfig(500)
+	fleetBase.Sites = 16
+	fleetBase.Days = 8
+	fleetSites, err := fleet.BuildSites(fleetBase)
+	if err != nil {
+		return err
+	}
+	fleetBase.Store = fleet.NewStore(fleetSites, fleetBase.N)
+	for _, nodes := range []int{500, 2000} {
+		fleetCfg := fleetBase
+		fleetCfg.Nodes = nodes
+		nodeSlots := nodes * fleetCfg.Days * fleetCfg.N
+		var nodesPerSec float64
+		if err := addN(fmt.Sprintf("FleetSim%d", nodes), "p50MAPE", nodeSlots, func() (float64, error) {
+			res, err := fleet.Run(fleetCfg)
+			if err != nil {
+				return 0, err
+			}
+			nodesPerSec = res.NodesPerSec
+			return res.Summary.MAPE.P50, nil
+		}); err != nil {
+			return err
+		}
+		rep.Results[len(rep.Results)-1].NodesPerSec = nodesPerSec
 	}
 
 	// Served-request latency: the same store behind cmd/solarpredd's HTTP

@@ -1,25 +1,33 @@
 // Command nodesim runs the closed-loop harvested-energy-management
 // simulation of the paper's Fig. 1 system context: panel → storage →
 // duty-cycled node, with the controller budgeting each slot from the
-// predictor's forecast. It compares predictors in system terms and
-// sweeps the storage size to show how prediction quality trades against
-// buffer capacity.
+// predictor's forecast. It compares predictors in system terms, sweeps
+// the storage size to show how prediction quality trades against buffer
+// capacity, and — in fleet mode — scales the same closed loop to
+// thousands of sampled virtual nodes with O(shards) aggregation memory.
 //
 // Usage:
 //
-//	nodesim                      # predictor comparison on HSU, 90 days
+//	nodesim                              # predictor comparison on HSU, 90 days
 //	nodesim -site NPCS -days 120
-//	nodesim -sweep               # storage-size sweep, WCMA vs persistence
+//	nodesim -sweep                       # storage-size sweep, WCMA vs persistence
+//	nodesim -fleet -fleet-nodes 20000    # one fleet run, JSON to the run dir
+//	nodesim -fleet -sweep-sizes 50,1000,20000 -days 30 -out runs/fleet
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"solarpred/internal/core"
 	"solarpred/internal/dataset"
 	"solarpred/internal/expstore"
+	"solarpred/internal/fleet"
 	"solarpred/internal/harvest"
 	"solarpred/internal/report"
 	"solarpred/internal/timeseries"
@@ -31,10 +39,37 @@ func main() {
 		days     = flag.Int("days", 90, "number of days to simulate")
 		n        = flag.Int("n", 48, "slots per day")
 		sweep    = flag.Bool("sweep", false, "sweep storage capacity instead of comparing predictors")
+
+		fleetMode    = flag.Bool("fleet", false, "run the sharded fleet simulation instead of a single node")
+		fleetNodes   = flag.Int("fleet-nodes", 5000, "fleet mode: number of virtual nodes")
+		sweepSizes   = flag.String("sweep-sizes", "", "fleet mode: comma-separated fleet sizes to sweep (implies -fleet)")
+		fleetSites   = flag.Int("fleet-sites", 64, "fleet mode: number of sampled synthetic sites")
+		fleetShards  = flag.Int("fleet-shards", 0, "fleet mode: aggregation shards (0 = 4x workers)")
+		fleetWorkers = flag.Int("fleet-workers", 0, "fleet mode: worker pool size (0 = GOMAXPROCS)")
+		seed         = flag.Int64("seed", 1, "fleet mode: master seed for site and node sampling")
+		jitter       = flag.Float64("jitter", 0.3, "fleet mode: climate sampling spread around the presets")
+		outDir       = flag.String("out", "", "fleet mode: run directory for JSON results (default fleet-run-<seed>)")
 	)
 	flag.Parse()
 
-	if err := run(*siteName, *days, *n, *sweep); err != nil {
+	var err error
+	if *fleetMode || *sweepSizes != "" {
+		err = runFleet(fleetOptions{
+			nodes:   *fleetNodes,
+			sizes:   *sweepSizes,
+			sites:   *fleetSites,
+			shards:  *fleetShards,
+			workers: *fleetWorkers,
+			days:    *days,
+			n:       *n,
+			seed:    *seed,
+			jitter:  *jitter,
+			outDir:  *outDir,
+		}, os.Stdout)
+	} else {
+		err = run(*siteName, *days, *n, *sweep)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nodesim:", err)
 		os.Exit(1)
 	}
@@ -72,6 +107,42 @@ func buildPredictor(kind string, n int) (core.SlotPredictor, error) {
 	}
 }
 
+// compareRow is one predictor's closed-loop outcome — the unit the
+// comparison table prints and the golden tests pin.
+type compareRow struct {
+	Predictor   string  `json:"predictor"`
+	Downtime    float64 `json:"downtime"`
+	MeanDuty    float64 `json:"mean_duty"`
+	DutyStd     float64 `json:"duty_std"`
+	Utilisation float64 `json:"utilisation"`
+	WastedJ     float64 `json:"wasted_j"`
+}
+
+// compareRows runs every predictor through the closed loop on one view.
+func compareRows(v *timeseries.SlotView) ([]compareRow, error) {
+	cfg := harvest.DefaultConfig()
+	var rows []compareRow
+	for _, kind := range []string{"wcma", "ewma", "persistence", "prevday", "slotar"} {
+		pred, err := buildPredictor(kind, v.N)
+		if err != nil {
+			return nil, err
+		}
+		res, err := harvest.Simulate(cfg, v, pred)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, compareRow{
+			Predictor:   kind,
+			Downtime:    res.Downtime(),
+			MeanDuty:    res.MeanDuty,
+			DutyStd:     res.DutyStd,
+			Utilisation: res.Utilisation(),
+			WastedJ:     res.WastedJ,
+		})
+	}
+	return rows, nil
+}
+
 func run(siteName string, days, n int, sweep bool) error {
 	v, err := view(siteName, days, n)
 	if err != nil {
@@ -80,59 +151,179 @@ func run(siteName string, days, n int, sweep bool) error {
 	if sweep {
 		return runSweep(siteName, days, v)
 	}
-	cfg := harvest.DefaultConfig()
+	rows, err := compareRows(v)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Closed-loop node on %s, %d days, %d-minute slots", siteName, days, v.SlotMinutes),
 		"predictor", "downtime", "mean duty", "duty stddev", "utilisation", "wasted")
-	for _, kind := range []string{"wcma", "ewma", "persistence", "prevday", "slotar"} {
-		pred, err := buildPredictor(kind, n)
-		if err != nil {
-			return err
-		}
-		res, err := harvest.Simulate(cfg, v, pred)
-		if err != nil {
-			return err
-		}
-		t.AddRow(kind,
-			fmt.Sprintf("%.2f%%", res.Downtime()*100),
-			fmt.Sprintf("%.3f", res.MeanDuty),
-			fmt.Sprintf("%.3f", res.DutyStd),
-			fmt.Sprintf("%.1f%%", res.Utilisation()*100),
-			fmt.Sprintf("%.0f J", res.WastedJ))
+	for _, r := range rows {
+		t.AddRow(r.Predictor,
+			fmt.Sprintf("%.2f%%", r.Downtime*100),
+			fmt.Sprintf("%.3f", r.MeanDuty),
+			fmt.Sprintf("%.3f", r.DutyStd),
+			fmt.Sprintf("%.1f%%", r.Utilisation*100),
+			fmt.Sprintf("%.0f J", r.WastedJ))
 	}
 	fmt.Println(t.String())
 	return nil
 }
 
-func runSweep(siteName string, days int, v *timeseries.SlotView) error {
-	t := report.NewTable(
-		fmt.Sprintf("Storage sweep on %s, %d days: downtime (WCMA / persistence)", siteName, days),
-		"capacity", "WCMA downtime", "persistence downtime")
+// sweepRow is one storage-capacity point of the buffer-vs-forecast
+// trade-off sweep.
+type sweepRow struct {
+	CapacityJ           float64 `json:"capacity_j"`
+	WCMADowntime        float64 `json:"wcma_downtime"`
+	PersistenceDowntime float64 `json:"persistence_downtime"`
+}
+
+// sweepRows sweeps the storage capacity for WCMA vs persistence.
+func sweepRows(v *timeseries.SlotView) ([]sweepRow, error) {
+	var rows []sweepRow
 	for _, capacity := range []float64{100, 250, 500, 1000, 2000} {
 		cfg := harvest.DefaultConfig()
 		cfg.StorageCapacityJ = capacity
 		wcma, err := buildPredictor("wcma", v.N)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rw, err := harvest.Simulate(cfg, v, wcma)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pers, err := buildPredictor("persistence", v.N)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rp, err := harvest.Simulate(cfg, v, pers)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%.0f J", capacity),
-			fmt.Sprintf("%.2f%%", rw.Downtime()*100),
-			fmt.Sprintf("%.2f%%", rp.Downtime()*100))
+		rows = append(rows, sweepRow{
+			CapacityJ:           capacity,
+			WCMADowntime:        rw.Downtime(),
+			PersistenceDowntime: rp.Downtime(),
+		})
+	}
+	return rows, nil
+}
+
+func runSweep(siteName string, days int, v *timeseries.SlotView) error {
+	rows, err := sweepRows(v)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Storage sweep on %s, %d days: downtime (WCMA / persistence)", siteName, days),
+		"capacity", "WCMA downtime", "persistence downtime")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f J", r.CapacityJ),
+			fmt.Sprintf("%.2f%%", r.WCMADowntime*100),
+			fmt.Sprintf("%.2f%%", r.PersistenceDowntime*100))
 	}
 	fmt.Println(t.String())
 	fmt.Println("Better forecasts substitute for buffer: the downtime a small store loses")
 	fmt.Println("to forecast error, a larger store absorbs.")
+	return nil
+}
+
+// fleetOptions is the fleet-mode CLI surface, separated from flag
+// parsing so tests can drive it directly.
+type fleetOptions struct {
+	nodes   int
+	sizes   string // comma-separated sweep sizes; empty = single run
+	sites   int
+	shards  int
+	workers int
+	days    int
+	n       int
+	seed    int64
+	jitter  float64
+	outDir  string
+}
+
+// parseSizes parses "50,1000,20000" into sweep points.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad sweep size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size sweep %q", s)
+	}
+	return out, nil
+}
+
+// runFleet executes one fleet run or a size sweep, writes one JSON
+// result per point into the run directory, and prints a summary table.
+func runFleet(opt fleetOptions, w *os.File) error {
+	cfg := fleet.DefaultConfig(opt.nodes)
+	cfg.Sites = opt.sites
+	cfg.Shards = opt.shards
+	cfg.Workers = opt.workers
+	cfg.Days = opt.days
+	cfg.N = opt.n
+	cfg.Seed = opt.seed
+	cfg.Jitter = opt.jitter
+	if cfg.WarmupDays >= cfg.Days {
+		// Short runs: keep scoring meaningful rather than rejecting.
+		cfg.WarmupDays = cfg.Days - 1
+	}
+
+	sizes := []int{opt.nodes}
+	if opt.sizes != "" {
+		var err error
+		sizes, err = parseSizes(opt.sizes)
+		if err != nil {
+			return err
+		}
+	}
+
+	dir := opt.outDir
+	if dir == "" {
+		dir = fmt.Sprintf("fleet-run-%d", opt.seed)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	results, err := fleet.Sweep(cfg, sizes)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fleet sweep: %d sites, %d days, %d slots/day, seed %d",
+			cfg.Sites, cfg.Days, cfg.N, cfg.Seed),
+		"nodes", "downtime", "dead", "degraded", "MAPE p50", "MAPE p99", "nodes/s", "mem")
+	for _, res := range results {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("fleet_%d.json", res.Nodes))
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		s := res.Summary
+		t.AddRow(fmt.Sprintf("%d", res.Nodes),
+			fmt.Sprintf("%.2f%%", s.DowntimeFrac*100),
+			fmt.Sprintf("%d", s.Dead),
+			fmt.Sprintf("%d", s.Degraded),
+			fmt.Sprintf("%.1f%%", s.MAPE.P50),
+			fmt.Sprintf("%.1f%%", s.MAPE.P99),
+			fmt.Sprintf("%.0f", res.NodesPerSec),
+			fmt.Sprintf("%.0f MiB", float64(res.MemSysBytes)/(1<<20)))
+	}
+	fmt.Fprintln(w, t.String())
+	fmt.Fprintf(w, "Results written to %s (one JSON per sweep point).\n", dir)
 	return nil
 }

@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
 
 func TestBuildPredictor(t *testing.T) {
 	for _, kind := range []string{"wcma", "ewma", "persistence", "prevday", "slotar"} {
@@ -26,5 +35,189 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if err := run("NOPE", 12, 24, false); err == nil {
 		t.Error("unknown site accepted")
+	}
+}
+
+// updateGolden regenerates the fixtures under testdata/golden:
+//
+//	go test ./cmd/nodesim -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden fixtures under testdata/golden")
+
+// goldenTolerance matches the repo's established float-association
+// tolerance (see internal/experiments).
+const goldenTolerance = 1e-9
+
+// checkGolden compares got against the named fixture field by field
+// within goldenTolerance, or rewrites the fixture under -update.
+func checkGolden(t *testing.T, name string, got any) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal live result (NaN/Inf must not reach a golden row): %v", err)
+	}
+	data = append(data, '\n')
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	wantRaw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (regenerate with -update): %v", path, err)
+	}
+	var want, live any
+	if err := json.Unmarshal(wantRaw, &want); err != nil {
+		t.Fatalf("corrupt fixture %s: %v", path, err)
+	}
+	if err := json.Unmarshal(data, &live); err != nil {
+		t.Fatal(err)
+	}
+	compareTrees(t, name, live, want)
+}
+
+// compareTrees walks two decoded JSON trees in lockstep, comparing
+// numeric leaves within goldenTolerance and everything else exactly.
+func compareTrees(t *testing.T, loc string, got, want any) {
+	t.Helper()
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			t.Errorf("%s: got %T, fixture has object", loc, got)
+			return
+		}
+		keys := make([]string, 0, len(w))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			gv, ok := g[k]
+			if !ok {
+				t.Errorf("%s.%s: field missing from live result", loc, k)
+				continue
+			}
+			compareTrees(t, loc+"."+k, gv, w[k])
+		}
+		for k := range g {
+			if _, ok := w[k]; !ok {
+				t.Errorf("%s.%s: field missing from fixture (regenerate with -update)", loc, k)
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			t.Errorf("%s: got %T, fixture has array", loc, got)
+			return
+		}
+		if len(g) != len(w) {
+			t.Errorf("%s: length %d, fixture %d", loc, len(g), len(w))
+			return
+		}
+		for i := range w {
+			compareTrees(t, fmt.Sprintf("%s[%d]", loc, i), g[i], w[i])
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			t.Errorf("%s: got %T (%v), fixture has number %v", loc, got, got, w)
+			return
+		}
+		if diff := math.Abs(g - w); diff > goldenTolerance*(1+math.Max(math.Abs(g), math.Abs(w))) {
+			t.Errorf("%s: %.*g, fixture %.*g (|Δ| = %.3g)", loc, 17, g, 17, w, diff)
+		}
+	default:
+		if got != want {
+			t.Errorf("%s: %v, fixture %v", loc, got, want)
+		}
+	}
+}
+
+// TestGoldenCompare pins the predictor-comparison table's headline
+// numbers on a small trace — the path `nodesim` (no flags) prints.
+func TestGoldenCompare(t *testing.T) {
+	v, err := view("HSU", 10, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := compareRows(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "compare_hsu_10d_24.json", rows)
+}
+
+// TestGoldenSweep pins the storage-sweep table — the `nodesim -sweep`
+// path.
+func TestGoldenSweep(t *testing.T) {
+	v, err := view("NPCS", 10, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sweepRows(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sweep_npcs_10d_24.json", rows)
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("50, 1000,20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 50 || got[1] != 1000 || got[2] != 20000 {
+		t.Fatalf("parseSizes = %v", got)
+	}
+	for _, bad := range []string{"", "abc", "10,-5", "0"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunFleetWritesSweepArtifacts runs a tiny fleet sweep end to end
+// and checks one well-formed JSON result lands per sweep point.
+func TestRunFleetWritesSweepArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	opt := fleetOptions{
+		nodes:  10,
+		sizes:  "10,25",
+		sites:  4,
+		days:   3,
+		n:      24,
+		seed:   7,
+		jitter: 0.2,
+		outDir: dir,
+	}
+	if err := runFleet(opt, devnull); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{10, 25} {
+		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("fleet_%d.json", size)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("fleet_%d.json: %v", size, err)
+		}
+		if got := int(m["nodes"].(float64)); got != size {
+			t.Fatalf("fleet_%d.json: nodes = %d", size, got)
+		}
+		if _, ok := m["summary"].(map[string]any); !ok {
+			t.Fatalf("fleet_%d.json: missing summary object", size)
+		}
 	}
 }

@@ -1,0 +1,76 @@
+package cloud
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SampleClimate draws a synthetic site climate in the neighbourhood of a
+// preset: every stochastic parameter is perturbed multiplicatively by up
+// to ±jitter (uniform), transition rows are re-normalised, and every
+// value is clamped back into the domain Validate enforces. The result is
+// a valid Climate for any base that validates and any jitter in [0, 1);
+// the fleet simulator uses this to instantiate thousands of distinct
+// virtual sites around the four presets from one master seed.
+//
+// Sampling consumes a fixed number of draws from rng, so a seeded rng
+// yields the same climate on every call — per-site determinism is what
+// lets the fleet re-derive any node's world from (master seed, site
+// index) alone.
+func SampleClimate(base Climate, rng *rand.Rand, jitter float64) (Climate, error) {
+	if err := base.Validate(); err != nil {
+		return Climate{}, fmt.Errorf("cloud: sampling from invalid base: %w", err)
+	}
+	if jitter < 0 || jitter >= 1 {
+		return Climate{}, fmt.Errorf("cloud: sample jitter %.3f out of [0,1)", jitter)
+	}
+	c := base
+	c.Name = base.Name + "+sampled"
+
+	// wobble returns a multiplicative factor in [1-jitter, 1+jitter].
+	wobble := func() float64 { return 1 + jitter*(2*rng.Float64()-1) }
+
+	for i := range c.Transition {
+		var sum float64
+		for j := range c.Transition[i] {
+			c.Transition[i][j] = base.Transition[i][j] * wobble()
+			sum += c.Transition[i][j]
+		}
+		// Re-normalise the row so it sums to 1 within Validate's 1e-9.
+		for j := range c.Transition[i] {
+			c.Transition[i][j] /= sum
+		}
+	}
+
+	for i := range c.Types {
+		tp := &c.Types[i]
+		tp.BaseMean = clamp(tp.BaseMean*wobble(), 0.02, MaxTransmittance)
+		tp.BaseStd = clamp(tp.BaseStd*wobble(), 0, 0.5)
+		// Perturb persistence in (1-rho) space so very sticky processes
+		// stay sticky and the clamp below never produces rho >= 1.
+		tp.ARRho1Min = clamp(1-(1-tp.ARRho1Min)*wobble(), 0, 0.9999)
+		tp.ARSigma = clamp(tp.ARSigma*wobble(), 0, 1)
+		tp.FastSigma = clamp(tp.FastSigma*wobble(), 0, 1)
+		tp.EventsPerDay = clamp(tp.EventsPerDay*wobble(), 0, 48)
+		tp.EventMeanMinutes = clamp(tp.EventMeanMinutes*wobble(), 0, 720)
+		tp.EventAttenMin = clamp(tp.EventAttenMin*wobble(), 0, 1)
+		tp.EventAttenMax = clamp(tp.EventAttenMax*wobble(), 0, 1)
+		if tp.EventAttenMin > tp.EventAttenMax {
+			tp.EventAttenMin, tp.EventAttenMax = tp.EventAttenMax, tp.EventAttenMin
+		}
+	}
+
+	c.Fog.Probability = clamp(base.Fog.Probability*wobble(), 0, 1)
+	c.Fog.Attenuation = clamp(base.Fog.Attenuation*wobble(), 0.05, 1)
+	c.Fog.BurnOffMeanMinutes = clamp(base.Fog.BurnOffMeanMinutes*wobble(), 0, 720)
+	c.Fog.BurnOffStdMinutes = clamp(base.Fog.BurnOffStdMinutes*wobble(), 0, 240)
+	// fogFactor divides by RampMinutes; keep it away from zero whenever
+	// fog can actually occur.
+	c.Fog.RampMinutes = clamp(base.Fog.RampMinutes*wobble(), 1, 240)
+	c.SeasonalAmplitude = clamp(base.SeasonalAmplitude*wobble(), 0, 1)
+
+	if err := c.Validate(); err != nil {
+		return Climate{}, fmt.Errorf("cloud: sampled climate invalid (bug in SampleClimate): %w", err)
+	}
+	return c, nil
+}

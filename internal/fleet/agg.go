@@ -1,0 +1,186 @@
+package fleet
+
+import "math"
+
+// NodeResult is the complete outcome of one virtual node's closed-loop
+// run — the value the naive reference materializes per node and the
+// streaming path folds away immediately.
+type NodeResult struct {
+	// Energy balance over the node's whole run.
+	HarvestedJ, ConsumedJ, WastedJ float64
+	// DownSlots counts brown-out slots out of Slots total.
+	DownSlots, Slots int
+	// MeanDuty and FinalFraction summarise actuation and storage state.
+	MeanDuty, FinalFraction float64
+	// MAPE is the node's online prediction error (percent) over its
+	// post-warm-up region of interest; Scored is the number of in-ROI
+	// samples behind it. Scored == 0 means the node produced no scorable
+	// prediction (e.g. a polar-night trace) and MAPE is meaningless.
+	MAPE   float64
+	Scored int
+	// Dead and Degraded classify the node by downtime fraction.
+	Dead, Degraded bool
+}
+
+// ShardAgg is the streaming aggregate one shard folds its nodes into:
+// counts, exact energy sums, one-pass MAPE moments and the quantile
+// sketch. Its memory is O(1) in the number of nodes folded, and Merge is
+// exact, so any shard partition and any merge order produce the same
+// Summary bit-for-bit.
+type ShardAgg struct {
+	nodes, dead, degraded, unscored int
+	downSlots, slots                int64
+
+	harvested, consumed, wasted ExactSum
+	dutySum                     ExactSum
+
+	mapeN            int
+	mapeSum, mapeSq  ExactSum
+	mapeMin, mapeMax float64
+	sketch           *Sketch
+}
+
+// NewShardAgg creates an empty aggregate.
+func NewShardAgg() *ShardAgg {
+	return &ShardAgg{mapeMin: math.Inf(1), mapeMax: math.Inf(-1), sketch: NewSketch()}
+}
+
+// AddNode folds one node's result into the aggregate.
+func (a *ShardAgg) AddNode(r *NodeResult) {
+	a.nodes++
+	if r.Dead {
+		a.dead++
+	} else if r.Degraded {
+		a.degraded++
+	}
+	a.downSlots += int64(r.DownSlots)
+	a.slots += int64(r.Slots)
+	a.harvested.Add(r.HarvestedJ)
+	a.consumed.Add(r.ConsumedJ)
+	a.wasted.Add(r.WastedJ)
+	a.dutySum.Add(r.MeanDuty)
+	if r.Scored == 0 {
+		a.unscored++
+		return
+	}
+	a.mapeN++
+	a.mapeSum.Add(r.MAPE)
+	a.mapeSq.Add(r.MAPE * r.MAPE)
+	if r.MAPE < a.mapeMin {
+		a.mapeMin = r.MAPE
+	}
+	if r.MAPE > a.mapeMax {
+		a.mapeMax = r.MAPE
+	}
+	a.sketch.Add(r.MAPE)
+}
+
+// Merge folds another shard's aggregate into a. All components are exact
+// (integer counts, ExactSum, integer sketch buckets, min/max), so the
+// merged state is independent of grouping and order.
+func (a *ShardAgg) Merge(b *ShardAgg) {
+	a.nodes += b.nodes
+	a.dead += b.dead
+	a.degraded += b.degraded
+	a.unscored += b.unscored
+	a.downSlots += b.downSlots
+	a.slots += b.slots
+	a.harvested.Merge(&b.harvested)
+	a.consumed.Merge(&b.consumed)
+	a.wasted.Merge(&b.wasted)
+	a.dutySum.Merge(&b.dutySum)
+	a.mapeN += b.mapeN
+	a.mapeSum.Merge(&b.mapeSum)
+	a.mapeSq.Merge(&b.mapeSq)
+	if b.mapeMin < a.mapeMin {
+		a.mapeMin = b.mapeMin
+	}
+	if b.mapeMax > a.mapeMax {
+		a.mapeMax = b.mapeMax
+	}
+	a.sketch.Merge(b.sketch)
+}
+
+// MAPEStats is the fleet-wide distribution of per-node prediction error
+// (percent).
+type MAPEStats struct {
+	// Nodes is the number of scored nodes contributing.
+	Nodes int     `json:"nodes"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary is the fleet-wide roll-up the run emits: the energy balance,
+// availability and prediction-quality distribution of every node, in
+// O(1) space.
+type Summary struct {
+	Nodes     int   `json:"nodes"`
+	Slots     int64 `json:"slots"`
+	DownSlots int64 `json:"down_slots"`
+	// DowntimeFrac is the fleet-wide brown-out fraction.
+	DowntimeFrac float64 `json:"downtime_frac"`
+	HarvestedJ   float64 `json:"harvested_j"`
+	ConsumedJ    float64 `json:"consumed_j"`
+	WastedJ      float64 `json:"wasted_j"`
+	// Utilisation is consumed / harvested energy across the fleet.
+	Utilisation float64 `json:"utilisation"`
+	// MeanDuty is the mean of per-node mean duty cycles.
+	MeanDuty float64 `json:"mean_duty"`
+	// Dead nodes exceeded the dead-downtime threshold; degraded nodes the
+	// degraded threshold; unscored nodes produced no in-ROI predictions.
+	Dead     int `json:"dead_nodes"`
+	Degraded int `json:"degraded_nodes"`
+	Unscored int `json:"unscored_nodes"`
+
+	MAPE MAPEStats `json:"mape"`
+}
+
+// Summary rolls the aggregate up into the emitted document. Every field
+// is derived from exact state by a fixed sequence of operations, so two
+// aggregates holding the same node set produce identical bytes.
+func (a *ShardAgg) Summary() Summary {
+	s := Summary{
+		Nodes:      a.nodes,
+		Slots:      a.slots,
+		DownSlots:  a.downSlots,
+		HarvestedJ: a.harvested.Float64(),
+		ConsumedJ:  a.consumed.Float64(),
+		WastedJ:    a.wasted.Float64(),
+		Dead:       a.dead,
+		Degraded:   a.degraded,
+		Unscored:   a.unscored,
+	}
+	if a.slots > 0 {
+		s.DowntimeFrac = float64(a.downSlots) / float64(a.slots)
+	}
+	if s.HarvestedJ > 0 {
+		s.Utilisation = s.ConsumedJ / s.HarvestedJ
+	}
+	if a.nodes > 0 {
+		s.MeanDuty = a.dutySum.Float64() / float64(a.nodes)
+	}
+	if a.mapeN > 0 {
+		mean := a.mapeSum.Float64() / float64(a.mapeN)
+		variance := a.mapeSq.Float64()/float64(a.mapeN) - mean*mean
+		std := 0.0
+		if variance > 0 {
+			std = math.Sqrt(variance)
+		}
+		s.MAPE = MAPEStats{
+			Nodes: a.mapeN,
+			Mean:  mean,
+			Std:   std,
+			Min:   a.mapeMin,
+			Max:   a.mapeMax,
+			P50:   a.sketch.Quantile(0.50),
+			P90:   a.sketch.Quantile(0.90),
+			P99:   a.sketch.Quantile(0.99),
+		}
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"math"
+	"math/big"
+)
+
+// ExactSum accumulates float64 values exactly. Every finite float64 is an
+// integer multiple of 2^-1074, so the running sum is kept as a big.Int
+// holding value·2^1074 — integer addition is associative, which is what
+// makes the fleet's sharded aggregation bit-identical regardless of how
+// nodes are partitioned into shards or scheduled onto workers: any merge
+// order of per-shard sums yields the same exact integer, and Float64
+// rounds that one integer once. A plain float64 fold would instead bind
+// the association order of the additions to the shard layout and leak
+// parallelism into the results.
+//
+// The zero value is an empty sum, ready to use. ExactSum is not safe for
+// concurrent use; each shard owns its own and merges under the runner's
+// barrier.
+type ExactSum struct {
+	acc big.Int
+	tmp big.Int // scratch for Add, avoids one allocation per call
+	// bad counts non-finite inputs; any makes Float64 return NaN rather
+	// than silently dropping the poison.
+	bad int
+}
+
+// Add folds one value into the sum. NaN and ±Inf are counted and poison
+// Float64, mirroring what they would do to a float64 fold.
+func (s *ExactSum) Add(x float64) {
+	bits := math.Float64bits(x)
+	exp := int((bits >> 52) & 0x7ff)
+	mant := bits & (1<<52 - 1)
+	if exp == 0x7ff { // NaN or Inf
+		s.bad++
+		return
+	}
+	if exp == 0 {
+		// Subnormal (or zero): value = mant · 2^-1074, scaled = mant.
+		if mant == 0 {
+			return
+		}
+		s.tmp.SetUint64(mant)
+	} else {
+		// Normal: value = (2^52+mant) · 2^(exp-1075), scaled = m · 2^(exp-1).
+		s.tmp.SetUint64(mant | 1<<52)
+		s.tmp.Lsh(&s.tmp, uint(exp-1))
+	}
+	if bits>>63 == 1 {
+		s.acc.Sub(&s.acc, &s.tmp)
+	} else {
+		s.acc.Add(&s.acc, &s.tmp)
+	}
+}
+
+// Merge folds another sum into s. Merging is exact, so it commutes and
+// associates: ((a+b)+c) == (a+(b+c)) bit-for-bit after Float64.
+func (s *ExactSum) Merge(o *ExactSum) {
+	s.acc.Add(&s.acc, &o.acc)
+	s.bad += o.bad
+}
+
+// Float64 rounds the exact sum to the nearest float64 (ties to even). It
+// is a pure function of the values added, independent of their order or
+// grouping.
+func (s *ExactSum) Float64() float64 {
+	if s.bad > 0 {
+		return math.NaN()
+	}
+	if s.acc.Sign() == 0 {
+		return 0
+	}
+	f := new(big.Float).SetPrec(uint(s.acc.BitLen()) + 1).SetInt(&s.acc)
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	out, _ := mant.SetMantExp(mant, exp-1074).Float64()
+	return out
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExactSumMatchesSimpleCases pins the decomposition against values
+// with exactly representable sums.
+func TestExactSumMatchesSimpleCases(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0}, 0},
+		{[]float64{1, 2, 3}, 6},
+		{[]float64{1.5, -0.5}, 1},
+		{[]float64{0.1}, 0.1},
+		{[]float64{1e300, -1e300}, 0},
+		{[]float64{math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64}, 2 * math.SmallestNonzeroFloat64},
+		{[]float64{-2.25, 2.25, 7}, 7},
+	}
+	for _, c := range cases {
+		var s ExactSum
+		for _, x := range c.in {
+			s.Add(x)
+		}
+		if got := s.Float64(); got != c.want {
+			t.Errorf("sum(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestExactSumOrderIndependent is the property the fleet depends on:
+// any partition of the same values into sub-sums, merged in any order,
+// rounds to the same float64 — even when a plain float fold would not.
+func TestExactSumOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		// Wildly varying magnitudes to maximize float non-associativity.
+		vals[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(30)-15))
+	}
+
+	var whole ExactSum
+	for _, v := range vals {
+		whole.Add(v)
+	}
+	want := whole.Float64()
+
+	for _, parts := range []int{2, 3, 7, 50} {
+		sums := make([]ExactSum, parts)
+		for i, v := range vals {
+			sums[i%parts].Add(v)
+		}
+		// Merge in reverse order to stress commutativity too.
+		var merged ExactSum
+		for i := parts - 1; i >= 0; i-- {
+			merged.Merge(&sums[i])
+		}
+		if got := merged.Float64(); got != want {
+			t.Errorf("%d-way partition sum = %v, want %v (diff %g)", parts, got, want, got-want)
+		}
+	}
+}
+
+// TestExactSumPoison checks NaN/Inf inputs surface as NaN rather than
+// vanishing.
+func TestExactSumPoison(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		var s ExactSum
+		s.Add(1)
+		s.Add(bad)
+		if got := s.Float64(); !math.IsNaN(got) {
+			t.Errorf("sum with %v = %v, want NaN", bad, got)
+		}
+		var clean, merged ExactSum
+		clean.Add(2)
+		merged.Merge(&clean)
+		merged.Merge(&s)
+		if got := merged.Float64(); !math.IsNaN(got) {
+			t.Errorf("merge with poisoned sum = %v, want NaN", got)
+		}
+	}
+}
+
+// TestSketchQuantileAccuracy checks the relative-error guarantee on a
+// known distribution.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	s := NewSketch()
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		s.Add(float64(i)) // uniform 1..n
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d", s.Count(), n)
+	}
+	relErr := (sketchGamma - 1) / (sketchGamma + 1)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		want := q * n
+		if math.Abs(got-want)/want > 2*relErr {
+			t.Errorf("Quantile(%.2f) = %.1f, want %.1f within %.1f%%", q, got, want, 200*relErr)
+		}
+	}
+}
+
+// TestSketchBoundedBuckets checks the clamp hard-bounds memory no matter
+// how extreme the inputs.
+func TestSketchBoundedBuckets(t *testing.T) {
+	s := NewSketch()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		s.Add(math.Pow(10, 40*rng.Float64()-20)) // 1e-20 .. 1e20
+	}
+	s.Add(0)
+	s.Add(-5)
+	s.Add(math.NaN())
+	maxBuckets := s.maxIdx - s.minIdx + 1
+	if s.Buckets() > maxBuckets {
+		t.Fatalf("%d buckets, want ≤ %d", s.Buckets(), maxBuckets)
+	}
+	if s.Buckets() > 2000 {
+		t.Fatalf("%d buckets exceeds the design bound", s.Buckets())
+	}
+}
+
+// TestSketchMergeMatchesSequential checks merged sketches answer
+// identically to one sketch that saw everything.
+func TestSketchMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	whole := NewSketch()
+	parts := []*Sketch{NewSketch(), NewSketch(), NewSketch()}
+	for i, v := range vals {
+		whole.Add(v)
+		parts[i%3].Add(v)
+	}
+	merged := NewSketch()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%.2f): merged %v != sequential %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestSketchZeroHandling covers the sub-threshold bucket and the empty
+// sketch.
+func TestSketchZeroHandling(t *testing.T) {
+	s := NewSketch()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	s.Add(50)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("mostly-zero median = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got < 45 || got > 55 {
+		t.Errorf("max quantile = %v, want ≈50", got)
+	}
+}

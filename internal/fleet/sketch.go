@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+)
+
+// Sketch bucket geometry. Buckets have fixed logarithmic boundaries
+// (bucket i covers (γ^(i-1), γ^i]), so a value always lands in the same
+// bucket no matter which shard sees it and merging two sketches is plain
+// integer addition per bucket — exact, commutative and associative, the
+// property the fleet's determinism contract needs. γ = 1.02 gives a
+// guaranteed relative quantile accuracy of (γ-1)/(γ+1) ≈ 1%.
+const (
+	sketchGamma = 1.02
+	// sketchMin and sketchMax clamp the indexable range; values below
+	// sketchMin land in the zero bucket, values above sketchMax in the
+	// top bucket. The clamp hard-bounds the bucket count (≈1750 for this
+	// range) so a sketch's memory is O(1) regardless of how many values
+	// it absorbs.
+	sketchMin = 1e-6
+	sketchMax = 1e9
+)
+
+// Sketch is a bounded-memory streaming quantile estimator over
+// nonnegative values (DDSketch-style fixed log-width histogram with
+// integer counts). The zero value is not usable; construct with
+// NewSketch.
+type Sketch struct {
+	counts map[int]uint64
+	zero   uint64 // values < sketchMin (including exact zeros)
+	total  uint64
+	minIdx int
+	maxIdx int
+}
+
+// NewSketch creates an empty sketch.
+func NewSketch() *Sketch {
+	lnGamma := math.Log(sketchGamma)
+	return &Sketch{
+		counts: make(map[int]uint64),
+		minIdx: int(math.Ceil(math.Log(sketchMin) / lnGamma)),
+		maxIdx: int(math.Ceil(math.Log(sketchMax) / lnGamma)),
+	}
+}
+
+// index returns the bucket for a value ≥ sketchMin.
+func (s *Sketch) index(x float64) int {
+	i := int(math.Ceil(math.Log(x) / math.Log(sketchGamma)))
+	if i < s.minIdx {
+		i = s.minIdx
+	}
+	if i > s.maxIdx {
+		i = s.maxIdx
+	}
+	return i
+}
+
+// Add absorbs one value. Negative and NaN inputs count into the zero
+// bucket (the sketch tracks distributions of nonnegative statistics; a
+// NaN here is a caller bug surfaced by the moment accumulators instead).
+func (s *Sketch) Add(x float64) {
+	s.total++
+	if !(x >= sketchMin) {
+		s.zero++
+		return
+	}
+	s.counts[s.index(x)]++
+}
+
+// Merge folds another sketch into s (bucket-wise integer addition).
+func (s *Sketch) Merge(o *Sketch) {
+	s.total += o.total
+	s.zero += o.zero
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+}
+
+// Count returns the number of values absorbed.
+func (s *Sketch) Count() uint64 { return s.total }
+
+// Buckets returns the number of occupied buckets — the sketch's memory
+// footprint in cells.
+func (s *Sketch) Buckets() int { return len(s.counts) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the absorbed
+// values within the sketch's relative accuracy. It returns 0 for an
+// empty sketch. The estimate is a deterministic function of the merged
+// histogram, so it inherits the merge's layout independence.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.total-1))
+	if rank < s.zero {
+		return 0
+	}
+	idxs := make([]int, 0, len(s.counts))
+	for i := range s.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	cum := s.zero
+	for _, i := range idxs {
+		cum += s.counts[i]
+		if rank < cum {
+			// Midpoint of (γ^(i-1), γ^i] in relative terms.
+			return 2 * math.Pow(sketchGamma, float64(i)) / (sketchGamma + 1)
+		}
+	}
+	// Unreachable when counts are consistent; fall back to the top edge.
+	return math.Pow(sketchGamma, float64(s.maxIdx))
+}

@@ -280,29 +280,112 @@ func (r Result) Utilisation() float64 {
 	return r.ConsumedJ / r.HarvestedJ
 }
 
+// Sim is the closed-loop node simulation unrolled into an explicit
+// per-slot step function: construct one with NewSim, feed it one
+// (predicted power, actual mean power) pair per slot, read the Result
+// when the trace ends. Step performs no allocation and Sim is a plain
+// value, so a fleet worker can run millions of virtual nodes by stamping
+// out one Sim per node on its stack while Simulate keeps wrapping the
+// same arithmetic for the single-node drivers — both paths produce
+// bit-identical results because Simulate is implemented on Step.
+type Sim struct {
+	cfg         Config
+	store       Storage
+	slotSeconds float64
+	leakDays    float64
+
+	res                Result
+	dutySum, dutySumSq float64
+}
+
+// NewSim builds a simulation for a node with n slots per day. The
+// returned Sim is ready for its first Step.
+func NewSim(cfg Config, n int) (Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return Sim{}, err
+	}
+	if n <= 0 || timeseries.MinutesPerDay%n != 0 {
+		return Sim{}, fmt.Errorf("harvest: %d slots do not divide a day", n)
+	}
+	store, err := NewStorage(cfg.StorageCapacityJ, cfg.ChargeEfficiency, cfg.LeakagePerDay, cfg.InitialFraction)
+	if err != nil {
+		return Sim{}, err
+	}
+	return Sim{
+		cfg:         cfg,
+		store:       *store,
+		slotSeconds: float64(timeseries.MinutesPerDay/n) * 60,
+		leakDays:    1 / float64(n),
+	}, nil
+}
+
+// Step advances the node by one slot: the controller budgets the slot
+// from predictedPower (the forecast harvest power in W/m² terms), the
+// actual harvest actualMeanPower arrives, the load consumes, the store
+// leaks. It returns the duty cycle the controller chose. Step allocates
+// nothing.
+func (s *Sim) Step(predictedPower, actualMeanPower float64) (duty float64) {
+	predictedJ := s.cfg.Panel.Power(predictedPower) * s.slotSeconds
+	duty = s.cfg.Controller.Duty(s.cfg.Load, &s.store, predictedJ, s.slotSeconds)
+
+	// The slot unfolds: actual harvest arrives, load consumes.
+	actualJ := s.cfg.Panel.Power(actualMeanPower) * s.slotSeconds
+	s.res.HarvestedJ += actualJ
+	s.res.WastedJ += s.store.Charge(actualJ)
+
+	want := s.cfg.Load.EnergyJ(duty, s.slotSeconds)
+	got := s.store.Discharge(want)
+	s.res.ConsumedJ += got
+	if got < want-1e-12 {
+		s.res.DownSlots++
+	}
+	s.store.Leak(s.leakDays)
+
+	s.dutySum += duty
+	s.dutySumSq += duty * duty
+	s.res.Slots++
+	return duty
+}
+
+// SlotSeconds returns the slot length in seconds — the factor converting
+// a forecast power into the slot energy the controller budgets.
+func (s *Sim) SlotSeconds() float64 { return s.slotSeconds }
+
+// Storage exposes the live store (read-only use intended).
+func (s *Sim) Storage() *Storage { return &s.store }
+
+// Result finalises and returns the simulation summary for the slots
+// stepped so far. It may be called repeatedly; each call summarises the
+// current state.
+func (s *Sim) Result() Result {
+	res := s.res
+	if res.Slots > 0 {
+		res.MeanDuty = s.dutySum / float64(res.Slots)
+		variance := s.dutySumSq/float64(res.Slots) - res.MeanDuty*res.MeanDuty
+		if variance > 0 {
+			res.DutyStd = math.Sqrt(variance)
+		}
+	}
+	res.FinalFraction = s.store.Fraction()
+	return res
+}
+
 // Simulate runs the node over a slotted irradiance trace using the given
 // predictor to forecast each slot's harvest. The predictor observes the
 // slot-start power sample (what the node's ADC measures) and its forecast
 // ê(n+1) is converted to slot energy as ê·T, exactly the estimate the
 // paper's Section III describes.
 func Simulate(cfg Config, view *timeseries.SlotView, pred core.SlotPredictor) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if view == nil || view.DaysCount == 0 {
 		return nil, fmt.Errorf("harvest: empty trace")
 	}
 	if pred.N() != view.N {
 		return nil, fmt.Errorf("harvest: predictor has %d slots/day, trace has %d", pred.N(), view.N)
 	}
-	store, err := NewStorage(cfg.StorageCapacityJ, cfg.ChargeEfficiency, cfg.LeakagePerDay, cfg.InitialFraction)
+	sim, err := NewSim(cfg, view.N)
 	if err != nil {
 		return nil, err
 	}
-	slotSeconds := float64(view.SlotMinutes) * 60
-	res := &Result{}
-	var dutySum, dutySumSq float64
-
 	total := view.TotalSlots()
 	for t := 0; t < total; t++ {
 		j := t % view.N
@@ -313,34 +396,9 @@ func Simulate(cfg Config, view *timeseries.SlotView, pred core.SlotPredictor) (*
 		if err != nil {
 			return nil, err
 		}
-		predictedJ := cfg.Panel.Power(forecastPower) * slotSeconds
-		duty := cfg.Controller.Duty(cfg.Load, store, predictedJ, slotSeconds)
-
-		// The slot unfolds: actual harvest arrives, load consumes.
 		day, slot := view.Split(t)
-		actualJ := cfg.Panel.Power(view.MeanAt(day, slot)) * slotSeconds
-		res.HarvestedJ += actualJ
-		res.WastedJ += store.Charge(actualJ)
-
-		want := cfg.Load.EnergyJ(duty, slotSeconds)
-		got := store.Discharge(want)
-		res.ConsumedJ += got
-		if got < want-1e-12 {
-			res.DownSlots++
-		}
-		store.Leak(1 / float64(view.N))
-
-		dutySum += duty
-		dutySumSq += duty * duty
-		res.Slots++
+		sim.Step(forecastPower, view.MeanAt(day, slot))
 	}
-	if res.Slots > 0 {
-		res.MeanDuty = dutySum / float64(res.Slots)
-		variance := dutySumSq/float64(res.Slots) - res.MeanDuty*res.MeanDuty
-		if variance > 0 {
-			res.DutyStd = math.Sqrt(variance)
-		}
-	}
-	res.FinalFraction = store.Fraction()
-	return res, nil
+	res := sim.Result()
+	return &res, nil
 }

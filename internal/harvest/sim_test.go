@@ -1,0 +1,124 @@
+package harvest
+
+import (
+	"testing"
+
+	"solarpred/internal/core"
+	"solarpred/internal/dataset"
+	"solarpred/internal/timeseries"
+)
+
+// stepView generates a small slotted trace for the step-function tests.
+func stepView(t *testing.T, site string, days, n int) *timeseries.SlotView {
+	t.Helper()
+	s, err := dataset.SiteByName(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := dataset.GenerateDays(s, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := series.Slot(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSimMatchesSimulate drives a Sim by hand through the exact protocol
+// Simulate follows and checks the two summaries are bit-identical —
+// the contract that lets the fleet simulator reuse the step function
+// without forking the closed-loop arithmetic.
+func TestSimMatchesSimulate(t *testing.T) {
+	v := stepView(t, "NPCS", 10, 24)
+	cfg := DefaultConfig()
+
+	pred, err := core.New(v.N, core.Params{Alpha: 0.7, D: 5, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Simulate(cfg, v, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pred2, err := core.New(v.N, core.Params{Alpha: 0.7, D: 5, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(cfg, v.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < v.TotalSlots(); tt++ {
+		j := tt % v.N
+		if err := pred2.Observe(j, v.Start[tt]); err != nil {
+			t.Fatal(err)
+		}
+		f, err := pred2.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		day, slot := v.Split(tt)
+		sim.Step(f, v.MeanAt(day, slot))
+	}
+	got := sim.Result()
+	if got != *want {
+		t.Fatalf("step loop diverged from Simulate:\n got %+v\nwant %+v", got, *want)
+	}
+}
+
+// TestSimStepAllocationFree pins the fleet-scale contract: stepping a
+// node costs zero heap allocations.
+func TestSimStepAllocationFree(t *testing.T) {
+	sim, err := NewSim(DefaultConfig(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sim.Step(42.0, 40.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestSimResultMidRun checks Result is a non-destructive snapshot: it
+// can be read mid-run and again at the end.
+func TestSimResultMidRun(t *testing.T) {
+	sim, err := NewSim(DefaultConfig(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sim.Step(30, 30)
+	}
+	mid := sim.Result()
+	if mid.Slots != 10 {
+		t.Fatalf("mid-run Slots = %d, want 10", mid.Slots)
+	}
+	for i := 0; i < 10; i++ {
+		sim.Step(30, 30)
+	}
+	end := sim.Result()
+	if end.Slots != 20 {
+		t.Fatalf("end Slots = %d, want 20", end.Slots)
+	}
+	if end.HarvestedJ <= mid.HarvestedJ {
+		t.Fatal("harvest total did not grow")
+	}
+}
+
+// TestNewSimRejects covers the constructor's validation.
+func TestNewSimRejects(t *testing.T) {
+	if _, err := NewSim(Config{}, 24); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewSim(DefaultConfig(), 7); err == nil {
+		t.Error("slots not dividing a day accepted")
+	}
+	if _, err := NewSim(DefaultConfig(), 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
